@@ -1,0 +1,29 @@
+"""Benchmark: Figure 10 — sensitivity to the support-set size |S_U|.
+
+Paper claims: performance improves as the first ~100-200 labeled target pairs
+are added and then saturates; AdaMEL-hyb matches or exceeds AdaMEL-few once
+the support set is not tiny.
+"""
+
+import pytest
+
+from repro.experiments import run_figure10
+
+SUPPORT_SIZES = (1, 20, 60, 120)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_support_size(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure10("monitor", "monitor", support_sizes=SUPPORT_SIZES,
+                             scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    for variant in ("adamel-few", "adamel-hyb"):
+        series = result.series[variant]
+        assert len(series) == len(SUPPORT_SIZES)
+        assert all(0.0 <= value <= 1.0 for value in series)
+        # A larger support set should not make things substantially worse.
+        assert max(series[1:]) >= series[0] - 0.1, variant

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 11 — missing values (C1) and new attributes (C2) in Monitor.
+
+Paper observations reproduced by the synthetic corpus: only ``page_title`` and
+``source`` are (close to) fully populated; for most attributes fewer than half
+of the pairs have both values; several attributes have non-missing pairs only
+in the target domain.
+"""
+
+import pytest
+
+from repro.experiments import run_figure11
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_missingness(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(lambda: run_figure11(scale=bench_scale, seed=bench_seed),
+                                rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    # page_title and source are (close to) fully populated in both domains.
+    for attribute in ("page_title", "source"):
+        assert result.source_fractions[attribute] > 0.8
+        assert result.target_fractions[attribute] > 0.8
+    # C2: at least 3 attributes exist only in the target domain.
+    assert len(result.target_only_attributes()) >= 3
+    # C1: the majority of the remaining attributes are mostly missing.
+    assert len(result.mostly_missing_attributes()) >= 5

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 12 — value-distribution shift of ``prod_type`` (C3).
+
+Paper observation: the frequency distribution of the top tokens under
+``prod_type`` differs substantially between records of the seen and the unseen
+data sources.
+"""
+
+import pytest
+
+from repro.experiments import run_figure12
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_token_distribution_shift(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure12("monitor", attribute="prod_type", top_k=10,
+                             scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    assert result.source_tokens, "seen sources must produce prod_type tokens"
+    assert result.target_tokens, "unseen sources must produce prod_type tokens"
+    # C3: the two token distributions differ substantially (TV distance > 0.3).
+    assert result.divergence > 0.3

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 6c / Table 8 — MEL performance on the Monitor analogue.
+
+The Monitor corpus exhibits all three data challenges (heavy missingness,
+target-only attributes, shifted value distributions) and strong class
+imbalance.  The paper's qualitative claim: the AdaMEL variants outperform the
+supervised baselines, with the adaptation variants (zero/hyb) at the top.
+"""
+
+import pytest
+
+from repro.experiments import run_figure6
+
+METHODS = ["tler", "cordel-attention", "adamel-base", "adamel-zero", "adamel-hyb"]
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_monitor(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure6("monitor", "monitor", modes=("overlapping", "disjoint"),
+                            methods=METHODS, scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    for mode in ("overlapping", "disjoint"):
+        scores = {name: result.pr_auc(mode, name) for name in METHODS}
+        best_adamel = max(scores[m] for m in METHODS if m.startswith("adamel"))
+        # AdaMEL variants clearly beat the non-deep transfer baseline on the
+        # imbalanced Monitor corpus (the paper's TLER row is also the weakest).
+        assert best_adamel >= scores["tler"]
+        # Adaptation at least matches no adaptation.  (Note: at this reduced
+        # scale CorDel-Attention is stronger on Monitor than in the paper —
+        # recorded as a deviation in EXPERIMENTS.md.)
+        assert max(scores["adamel-zero"], scores["adamel-hyb"]) >= scores["adamel-base"] - 0.03

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 6a / Table 9 — MEL performance on the Music-3K analogue.
+
+Regenerates the method comparison (baselines vs AdaMEL variants) on the
+clean-label music corpus and checks the paper's qualitative claims: the
+adaptation-based AdaMEL variants outperform the purely supervised deep
+baselines, and adaptation (zero/hyb) improves over AdaMEL-base.
+"""
+
+import pytest
+
+from repro.experiments import run_figure6
+
+METHODS = ["tler", "deepmatcher", "cordel-attention",
+           "adamel-base", "adamel-zero", "adamel-few", "adamel-hyb"]
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_music3k_artist(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure6("music3k", "artist", modes=("overlapping", "disjoint"),
+                            methods=METHODS, scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    for mode in ("overlapping", "disjoint"):
+        scores = {name: result.pr_auc(mode, name) for name in METHODS}
+        best_adamel = max(scores[m] for m in METHODS if m.startswith("adamel"))
+        best_deep_baseline = max(scores["deepmatcher"], scores["cordel-attention"])
+        # Paper claim: AdaMEL variants outperform the supervised deep baselines.
+        assert best_adamel >= best_deep_baseline - 0.02, (
+            f"{mode}: best AdaMEL {best_adamel:.3f} < deep baseline {best_deep_baseline:.3f}")
+        # Paper claim: domain adaptation improves over no adaptation.
+        assert max(scores["adamel-zero"], scores["adamel-hyb"]) >= scores["adamel-base"] - 0.02

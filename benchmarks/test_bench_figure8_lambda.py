@@ -1,0 +1,30 @@
+"""Benchmark: Figure 8 — PRAUC vs the adaptation weight λ.
+
+Paper claim: performance generally improves as λ grows towards (but not equal
+to) 1, and collapses at λ=1 where no labeled source data is used.
+"""
+
+import pytest
+
+from repro.experiments import run_figure8
+
+LAMBDAS = (0.0, 0.9, 0.98, 1.0)
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_lambda_sweep(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure8("music3k", "artist", lambdas=LAMBDAS,
+                            scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print(result.format())
+
+    for variant in ("adamel-zero", "adamel-hyb"):
+        at_high_lambda = result.pr_auc(variant, 0.98)
+        at_zero_lambda = result.pr_auc(variant, 0.0)
+        # Adaptation (λ=0.98) should not be worse than no adaptation (λ=0).
+        assert at_high_lambda >= at_zero_lambda - 0.05, variant
+    # AdaMEL-zero at λ=1 has no supervision at all; it must not be the best point.
+    zero_series = result.series["adamel-zero"]
+    assert result.pr_auc("adamel-zero", 1.0) <= max(zero_series) + 1e-9

@@ -1,0 +1,66 @@
+"""Product matching as data sources arrive incrementally (Monitor workload).
+
+Real knowledge-integration pipelines receive new data sources over time.  This
+example reproduces that setting on the synthetic Monitor corpus: a model is
+trained once on five labeled shopping sites and then has to link listings from
+an ever-growing set of unseen sites.  It compares how a static supervised
+baseline and AdaMEL-hyb (which keeps adapting its attribute importance to the
+new sources) behave, and inspects how the learned importance shifts.
+
+Run with:  python examples/monitor_incremental_sources.py
+"""
+
+from __future__ import annotations
+
+from repro import AdaMELConfig, AdaMELHybrid
+from repro.baselines import BaselineConfig, CorDelAttention
+from repro.data.generators import (
+    MONITOR_SEEN_SOURCES,
+    MonitorCorpusGenerator,
+    MonitorGeneratorConfig,
+)
+from repro.eval import format_series, format_table
+from repro.experiments.figure9 import _scenario_with_sources
+
+
+def main() -> None:
+    corpus = MonitorCorpusGenerator(MonitorGeneratorConfig(num_entities=80),
+                                    num_sources=15, seed=5).generate()
+    unseen = [source for source in corpus.sources if source not in MONITOR_SEEN_SOURCES]
+    print(f"Corpus: {len(corpus.records)} listings from {len(corpus.sources)} sites, "
+          f"{len(corpus.pairs)} labeled pairs ({corpus.positive_rate():.1%} positive).")
+
+    adamel_config = AdaMELConfig(embedding_dim=32, hidden_dim=24, attention_dim=48,
+                                 classifier_hidden_dim=48, epochs=15, seed=0)
+    baseline_config = BaselineConfig(embedding_dim=32, hidden_dim=16, classifier_hidden_dim=32,
+                                     epochs=8, tokens_per_attribute=5, seed=0)
+
+    steps = [3, 6, 10]  # number of unseen sites available at each step
+    series = {"adamel-hyb": [], "cordel-attention": []}
+    final_model = None
+    for step in steps:
+        scenario = _scenario_with_sources(corpus, unseen[:step], support_size=40,
+                                          test_size=150, seed=2)
+        adamel = AdaMELHybrid(adamel_config)
+        adamel.fit(scenario)
+        series["adamel-hyb"].append(adamel.evaluate(scenario.test.pairs).pr_auc)
+        baseline = CorDelAttention(baseline_config)
+        baseline.fit(scenario)
+        series["cordel-attention"].append(baseline.evaluate(scenario.test.pairs).pr_auc)
+        final_model, final_scenario = adamel, scenario
+
+    print()
+    print(format_series("#unseen sites", steps, series,
+                        title="PRAUC as new shopping sites arrive"))
+
+    importance = final_model.feature_importance(final_scenario.test.pairs)
+    rows = [[fi.name, fi.score] for fi in importance.top(5)]
+    print()
+    print(format_table(["feature", "importance"], rows,
+                       title="Attribute importance after adapting to all sites"))
+    print(f"\nImportance inequality (Gini): {importance.gini_coefficient():.3f} "
+          "(Monitor is dominated by the page title, as in the paper's Table 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Multi-source music linkage: a full pipeline with blocking and all methods.
+
+This example mirrors the workload that motivates the paper's introduction:
+music records arrive from several websites with different formatting (artist
+abbreviations, missing genders, locale-specific strings).  It shows the
+pipeline a practitioner would run:
+
+1. pool records from every website;
+2. generate candidate pairs with token blocking (instead of comparing all
+   record pairs);
+3. train AdaMEL variants and the strongest baselines on the labeled websites;
+4. score the candidates, compare PRAUC on the held-out test pairs, and print
+   the linked record pairs AdaMEL is most confident about.
+
+Run with:  python examples/music_multisource.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AdaMELConfig, AdaMELHybrid, AdaMELZero
+from repro.baselines import BaselineConfig, CorDelAttention, TLER
+from repro.data import CandidateGenerator, TokenBlocker
+from repro.data.generators import MUSIC_SEEN_SOURCES, MusicCorpusGenerator, MusicGeneratorConfig
+from repro.eval import compare_models, format_results_table
+
+
+def main() -> None:
+    corpus = MusicCorpusGenerator("track", MusicGeneratorConfig(num_entities=60), seed=21).generate()
+
+    # --- Blocking: build candidate pairs without comparing every record pair.
+    blocker = CandidateGenerator([TokenBlocker("title"), TokenBlocker("main_performer")])
+    candidates = blocker.generate(corpus.records)
+    recall = blocker.recall(corpus.records)
+    print(f"Blocking produced {len(candidates)} candidate pairs "
+          f"(recall of true matches: {recall:.0%}).")
+
+    # --- Scenario: 3 labeled websites, adapt to all 7.
+    scenario = corpus.build_scenario(seen_sources=MUSIC_SEEN_SOURCES, mode="overlapping",
+                                     support_size=50, test_size=200, seed=3)
+
+    adamel_config = AdaMELConfig(embedding_dim=32, hidden_dim=24, attention_dim=48,
+                                 classifier_hidden_dim=48, epochs=20, seed=0)
+    baseline_config = BaselineConfig(embedding_dim=32, hidden_dim=16, classifier_hidden_dim=32,
+                                     epochs=10, tokens_per_attribute=5, seed=0)
+    results = compare_models({
+        "tler": lambda: TLER(),
+        "cordel-attention": lambda: CorDelAttention(baseline_config),
+        "adamel-zero": lambda: AdaMELZero(adamel_config),
+        "adamel-hyb": lambda: AdaMELHybrid(adamel_config),
+    }, scenario)
+    table = {name: {"pr_auc": result.pr_auc, "best_f1": result.report.best_f1,
+                    "fit_seconds": result.fit_seconds}
+             for name, result in results.items()}
+    print()
+    print(format_results_table(table, metric_order=["pr_auc", "best_f1", "fit_seconds"],
+                               title="Multi-source track linkage (test PRAUC)"))
+
+    # --- Score the blocked candidates with the best model and show top links.
+    model = AdaMELHybrid(adamel_config)
+    model.fit(scenario)
+    scores = model.predict_proba(candidates)
+    order = np.argsort(-scores)[:5]
+    print("\nMost confident cross-website links:")
+    for rank, index in enumerate(order, start=1):
+        pair = candidates[index]
+        print(f"{rank}. p={scores[index]:.3f}  "
+              f"[{pair.left.source}] {pair.left.value('title')!r} / {pair.left.value('main_performer')!r}"
+              f"  <->  [{pair.right.source}] {pair.right.value('title')!r} / "
+              f"{pair.right.value('main_performer')!r}")
+
+
+if __name__ == "__main__":
+    main()

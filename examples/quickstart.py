@@ -1,0 +1,64 @@
+"""Quickstart: train AdaMEL-hyb on a multi-source music catalogue.
+
+This example walks through the full AdaMEL workflow on the synthetic Music-3K
+analogue:
+
+1. generate a multi-source corpus (7 websites, 3 of them well-labeled);
+2. build an MEL scenario (labeled source domain, unlabeled target domain,
+   small labeled support set, held-out test pairs);
+3. train AdaMEL-hyb and compare it against AdaMEL-base (no adaptation);
+4. inspect the learned attribute importance — the transferable knowledge.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import AdaMELBase, AdaMELConfig, AdaMELHybrid
+from repro.data.generators import MUSIC_SEEN_SOURCES, MusicCorpusGenerator, MusicGeneratorConfig
+from repro.eval import format_table
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Generate a multi-source corpus (stand-in for the paper's Music-3K).
+    # ------------------------------------------------------------------ #
+    generator = MusicCorpusGenerator("artist", MusicGeneratorConfig(num_entities=60), seed=7)
+    corpus = generator.generate()
+    print(f"Generated {len(corpus.records)} records from {len(corpus.sources)} websites, "
+          f"{len(corpus.pairs)} labeled pairs "
+          f"({corpus.positive_rate():.0%} positive).")
+
+    # ------------------------------------------------------------------ #
+    # 2. Build the MEL scenario: train on 3 websites, adapt and test on all 7.
+    # ------------------------------------------------------------------ #
+    scenario = corpus.build_scenario(seen_sources=MUSIC_SEEN_SOURCES, mode="overlapping",
+                                     support_size=50, test_size=200, seed=1)
+    print("Scenario:", scenario.summary())
+
+    # ------------------------------------------------------------------ #
+    # 3. Train AdaMEL-base (no adaptation) and AdaMEL-hyb (adaptation + support).
+    # ------------------------------------------------------------------ #
+    config = AdaMELConfig(embedding_dim=32, hidden_dim=24, attention_dim=48,
+                          classifier_hidden_dim=48, epochs=20, seed=0)
+    results = {}
+    for name, model_cls in (("adamel-base", AdaMELBase), ("adamel-hyb", AdaMELHybrid)):
+        model = model_cls(config)
+        model.fit(scenario)
+        report = model.evaluate(scenario.test.pairs)
+        results[name] = (model, report)
+        print(f"{name}: PRAUC={report.pr_auc:.4f}  best-F1={report.best_f1:.4f} "
+              f"({model.num_parameters()} parameters)")
+
+    # ------------------------------------------------------------------ #
+    # 4. Inspect the learned attribute importance (the transferable knowledge).
+    # ------------------------------------------------------------------ #
+    hybrid_model, _ = results["adamel-hyb"]
+    importance = hybrid_model.feature_importance(scenario.test.pairs)
+    rows = [[fi.name, fi.score] for fi in importance.top(6)]
+    print()
+    print(format_table(["feature", "importance"], rows, title="Top learned features"))
+
+
+if __name__ == "__main__":
+    main()

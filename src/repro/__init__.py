@@ -1,0 +1,60 @@
+"""AdaMEL: deep transfer learning for multi-source entity linkage (VLDB 2021).
+
+This package is a from-scratch, CPU-only reproduction of the AdaMEL system
+and of every substrate it depends on — a numpy autograd engine, fixed hashed
+token embeddings, synthetic multi-source corpora, the deep and non-deep
+baselines of the paper's evaluation, and an experiment harness regenerating
+each table and figure.
+
+Quickstart
+----------
+>>> from repro import AdaMELHybrid, AdaMELConfig
+>>> from repro.data.generators import MusicCorpusGenerator
+>>> corpus = MusicCorpusGenerator("artist", seed=7).generate()
+>>> scenario = corpus.build_scenario(seen_sources=["website_1", "website_2", "website_3"])
+>>> model = AdaMELHybrid(AdaMELConfig(epochs=10))
+>>> model.fit(scenario)            # doctest: +SKIP
+>>> scores = model.predict_proba(scenario.test.pairs)  # doctest: +SKIP
+"""
+
+from .core import (
+    AdaMELBase,
+    AdaMELConfig,
+    AdaMELFew,
+    AdaMELHybrid,
+    AdaMELNetwork,
+    AdaMELTrainer,
+    AdaMELZero,
+    create_variant,
+)
+from .data.domain import MELScenario, PairCollection, SourceDomain, SupportSet, TargetDomain
+from .data.records import EntityPair, Record
+from .data.schema import Schema
+from .eval.evaluation import compare_models, evaluate_model
+from .eval.metrics import classification_report, pr_auc
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AdaMELConfig",
+    "AdaMELNetwork",
+    "AdaMELTrainer",
+    "AdaMELBase",
+    "AdaMELZero",
+    "AdaMELFew",
+    "AdaMELHybrid",
+    "create_variant",
+    "Record",
+    "EntityPair",
+    "Schema",
+    "MELScenario",
+    "PairCollection",
+    "SourceDomain",
+    "TargetDomain",
+    "SupportSet",
+    "evaluate_model",
+    "compare_models",
+    "pr_auc",
+    "classification_report",
+]

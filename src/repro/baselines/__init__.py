@@ -1,0 +1,27 @@
+"""Baseline entity-linkage systems used in the paper's evaluation.
+
+All baselines expose the same ``fit(scenario)`` / ``predict_proba(pairs)``
+interface as the AdaMEL variants so they can be swapped into any experiment.
+"""
+
+from .common import BaselineConfig, SupervisedPairModel
+from .cordel import CorDelAttention, CorDelNetwork
+from .deepmatcher import DeepMatcher, DeepMatcherNetwork
+from .ditto import Ditto, DittoNetwork
+from .entitymatcher import EntityMatcher, EntityMatcherNetwork
+from .tler import TLER, TLERConfig
+
+__all__ = [
+    "BaselineConfig",
+    "SupervisedPairModel",
+    "TLER",
+    "TLERConfig",
+    "DeepMatcher",
+    "DeepMatcherNetwork",
+    "EntityMatcher",
+    "EntityMatcherNetwork",
+    "Ditto",
+    "DittoNetwork",
+    "CorDelAttention",
+    "CorDelNetwork",
+]

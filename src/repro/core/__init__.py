@@ -1,0 +1,34 @@
+"""Core AdaMEL implementation: network, losses, trainers, variants."""
+
+from .config import AdaMELConfig
+from .losses import (
+    attention_centroids,
+    base_loss,
+    centroid_mean_distances,
+    combine_losses,
+    support_loss,
+    target_adaptation_loss,
+)
+from .model import AdaMELForward, AdaMELNetwork
+from .trainer import AdaMELTrainer, TrainingHistory
+from .variants import VARIANTS, AdaMELBase, AdaMELFew, AdaMELHybrid, AdaMELZero, create_variant
+
+__all__ = [
+    "AdaMELConfig",
+    "AdaMELNetwork",
+    "AdaMELForward",
+    "AdaMELTrainer",
+    "TrainingHistory",
+    "AdaMELBase",
+    "AdaMELZero",
+    "AdaMELFew",
+    "AdaMELHybrid",
+    "VARIANTS",
+    "create_variant",
+    "base_loss",
+    "target_adaptation_loss",
+    "support_loss",
+    "attention_centroids",
+    "centroid_mean_distances",
+    "combine_losses",
+]

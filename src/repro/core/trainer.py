@@ -1,0 +1,255 @@
+"""AdaMEL training loop shared by all four variants (Algorithms 1-3).
+
+``AdaMELTrainer`` owns the pair encoder, the network and the optimiser, and
+implements the mini-batch loop of the paper's algorithms:
+
+* every epoch, the attention vector averaged over the unlabeled target domain
+  is recomputed with the current parameters (Algorithm 1, line 5);
+* every epoch, the positive/negative attention centroids of the source domain
+  and the mean distances to them are recomputed (Algorithm 2, line 10);
+* every mini-batch sampled from ``D_S`` contributes ``L_base`` and, depending
+  on the variant, ``L_target`` (KL to the averaged target attention) and
+  ``L_support`` (distance-weighted loss over the labeled support set).
+
+The four public variants in :mod:`repro.core.variants` only differ in which
+loss terms are switched on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.domain import MELScenario
+from ..data.records import EntityPair
+from ..data.sampling import BatchSampler
+from ..data.schema import Schema
+from ..eval.metrics import ClassificationReport, classification_report
+from ..features.encoder import EncodedBatch, PairEncoder
+from ..features.importance import ImportanceReport, aggregate_importance
+from ..nn.optim import Adam, clip_grad_norm
+from ..text.embeddings import HashedEmbedder, TokenEmbedder
+from ..text.tokenizer import Tokenizer
+from ..utils.rng import spawn_rng
+from .config import AdaMELConfig
+from .losses import (
+    attention_centroids,
+    base_loss,
+    centroid_mean_distances,
+    combine_losses,
+    support_loss,
+    target_adaptation_loss,
+)
+from .model import AdaMELNetwork
+
+__all__ = ["TrainingHistory", "AdaMELTrainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss traces recorded during :meth:`AdaMELTrainer.fit`."""
+
+    total_loss: List[float] = field(default_factory=list)
+    base_loss: List[float] = field(default_factory=list)
+    target_loss: List[float] = field(default_factory=list)
+    support_loss: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.total_loss)
+
+    def final_loss(self) -> float:
+        return self.total_loss[-1] if self.total_loss else float("nan")
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "total_loss": list(self.total_loss),
+            "base_loss": list(self.base_loss),
+            "target_loss": list(self.target_loss),
+            "support_loss": list(self.support_loss),
+        }
+
+
+class AdaMELTrainer:
+    """Fit / predict interface shared by all AdaMEL variants.
+
+    Subclasses set :attr:`uses_target` (domain adaptation on the unlabeled
+    target domain) and :attr:`uses_support` (supervision from the labeled
+    support set).  The base class with both flags off is AdaMEL-base.
+    """
+
+    variant: str = "base"
+    uses_target: bool = False
+    uses_support: bool = False
+
+    def __init__(self, config: Optional[AdaMELConfig] = None,
+                 embedder: Optional[TokenEmbedder] = None) -> None:
+        self.config = config or AdaMELConfig()
+        self._external_embedder = embedder
+        self.encoder: Optional[PairEncoder] = None
+        self.network: Optional[AdaMELNetwork] = None
+        self.history: Optional[TrainingHistory] = None
+        self.schema: Optional[Schema] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, scenario: MELScenario) -> TrainingHistory:
+        """Train on a :class:`MELScenario` following the variant's algorithm."""
+        config = self.config
+        scenario = scenario.align()
+        self.schema = scenario.aligned_schema()
+        tokenizer = Tokenizer(crop_size=config.crop_size)
+        embedder = self._external_embedder or HashedEmbedder(dim=config.embedding_dim,
+                                                             tokenizer=tokenizer)
+        if embedder.dim != config.embedding_dim:
+            raise ValueError(
+                f"embedder dimension {embedder.dim} does not match config.embedding_dim "
+                f"{config.embedding_dim}"
+            )
+        self.encoder = PairEncoder(self.schema, embedder=embedder, tokenizer=tokenizer,
+                                   feature_kinds=config.feature_kinds)
+
+        # The labeled pool for L_base is the source domain plus, when the
+        # variant uses it, the labeled support set (goal G2: leverage the few
+        # labeled target pairs).  The distance-weighted L_support term is
+        # computed on the support set alone.
+        labeled_pairs = list(scenario.source.pairs)
+        support_batch: Optional[EncodedBatch] = None
+        if self.uses_support and scenario.support is not None and len(scenario.support):
+            support_batch = self.encoder.encode(scenario.support.pairs)
+            labeled_pairs.extend(scenario.support.pairs)
+        source_batch = self.encoder.encode(labeled_pairs)
+        target_batch = self.encoder.encode(scenario.target.pairs) if self.uses_target else None
+
+        rng = spawn_rng(config.seed)
+        self.network = AdaMELNetwork(self.encoder.num_features, config.embedding_dim,
+                                     config=config, rng=rng)
+        optimizer = Adam(self.network.parameters(), lr=config.learning_rate)
+        history = TrainingHistory()
+
+        for epoch in range(config.epochs):
+            epoch_losses = self._train_epoch(epoch, source_batch, target_batch, support_batch,
+                                             optimizer)
+            history.total_loss.append(epoch_losses["total"])
+            history.base_loss.append(epoch_losses["base"])
+            history.target_loss.append(epoch_losses["target"])
+            history.support_loss.append(epoch_losses["support"])
+            if config.verbose:
+                print(f"[{self.variant}] epoch {epoch + 1}/{config.epochs} "
+                      f"loss={epoch_losses['total']:.4f}")
+        self.history = history
+        return history
+
+    def _train_epoch(self, epoch: int, source_batch: EncodedBatch,
+                     target_batch: Optional[EncodedBatch],
+                     support_batch: Optional[EncodedBatch], optimizer: Adam) -> Dict[str, float]:
+        config = self.config
+        network = self.network
+        assert network is not None
+
+        # Algorithm 1 line 5: attention averaged over the target domain,
+        # recomputed with the current parameters once per epoch.
+        target_mean: Optional[np.ndarray] = None
+        if self.uses_target and target_batch is not None and len(target_batch):
+            target_mean = network.attention_numpy(target_batch.features).mean(axis=0)
+
+        # Algorithm 2 line 10: source-domain attention centroids and mean
+        # distances, used to weight the support-set loss.
+        centroids = None
+        if self.uses_support and support_batch is not None and len(support_batch):
+            source_attention = network.attention_numpy(source_batch.features)
+            c_plus, c_minus = attention_centroids(source_attention, source_batch.labels)
+            d_plus, d_minus = centroid_mean_distances(source_attention, source_batch.labels,
+                                                      c_plus, c_minus)
+            centroids = (c_plus, c_minus, d_plus, d_minus)
+
+        sampler = BatchSampler(len(source_batch), config.batch_size, shuffle=True,
+                               seed=config.seed * 1000 + epoch)
+        support_rng = spawn_rng(config.seed * 7919 + epoch)
+        sums = {"total": 0.0, "base": 0.0, "target": 0.0, "support": 0.0}
+        num_batches = 0
+        for indices in sampler:
+            batch = source_batch.subset(indices)
+            forward = network.forward(batch.features)
+            l_base = base_loss(forward.probabilities, batch.labels)
+            l_target = None
+            if target_mean is not None:
+                l_target = target_adaptation_loss(forward.attention, target_mean)
+            l_support = None
+            if centroids is not None and support_batch is not None:
+                # Batch learning (Sec. 4.4): a random support mini-batch per
+                # step rather than the full support set, which would otherwise
+                # be revisited once per source batch and overfit quickly.
+                take = min(config.batch_size, len(support_batch))
+                support_indices = support_rng.choice(len(support_batch), size=take, replace=False)
+                support_view = support_batch.subset(support_indices)
+                support_forward = network.forward(support_view.features)
+                c_plus, c_minus, d_plus, d_minus = centroids
+                l_support = support_loss(support_forward.probabilities, support_forward.attention,
+                                         support_view.labels, c_plus, c_minus, d_plus, d_minus)
+            loss = combine_losses(l_base=l_base, l_target=l_target, l_support=l_support,
+                                  adaptation_weight=config.adaptation_weight,
+                                  support_weight=config.support_weight)
+            optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip > 0:
+                clip_grad_norm(network.parameters(), config.grad_clip)
+            optimizer.step()
+
+            sums["total"] += float(loss.data)
+            sums["base"] += float(l_base.data)
+            sums["target"] += float(l_target.data) if l_target is not None else 0.0
+            sums["support"] += float(l_support.data) if l_support is not None else 0.0
+            num_batches += 1
+        if num_batches == 0:
+            raise RuntimeError("no training batches were produced; source domain is empty")
+        return {key: value / num_batches for key, value in sums.items()}
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if self.network is None or self.encoder is None:
+            raise RuntimeError("the model must be fitted before inference; call fit() first")
+
+    def predict_proba(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Matching probability for every pair."""
+        self._require_fitted()
+        if len(pairs) == 0:
+            return np.zeros(0)
+        batch = self.encoder.encode(pairs)
+        return self.network.predict_proba(batch.features)
+
+    def predict(self, pairs: Sequence[EntityPair], threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(pairs) >= threshold).astype(np.int64)
+
+    def attention_scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Attention score vectors ``f(x)`` (shape ``(N, F)``) for ``pairs``."""
+        self._require_fitted()
+        if len(pairs) == 0:
+            return np.zeros((0, self.encoder.num_features))
+        batch = self.encoder.encode(pairs)
+        return self.network.attention_numpy(batch.features)
+
+    def feature_importance(self, pairs: Sequence[EntityPair]) -> ImportanceReport:
+        """Learned feature importance averaged over ``pairs`` (Table 4)."""
+        scores = self.attention_scores(pairs)
+        return aggregate_importance(scores, self.encoder.feature_names)
+
+    def evaluate(self, pairs: Sequence[EntityPair], threshold: float = 0.5) -> ClassificationReport:
+        """Score labeled pairs and return the full metric bundle."""
+        labeled = [pair for pair in pairs if pair.is_labeled]
+        if not labeled:
+            raise ValueError("evaluate() requires labeled pairs")
+        scores = self.predict_proba(labeled)
+        labels = np.array([pair.label for pair in labeled], dtype=np.int64)
+        return classification_report(labels, scores, threshold=threshold)
+
+    def num_parameters(self) -> int:
+        """Number of learnable parameters (paper Section 4.5 / Section 5.5)."""
+        self._require_fitted()
+        return self.network.num_parameters()

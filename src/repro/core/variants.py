@@ -1,0 +1,73 @@
+"""The four AdaMEL variants (Section 4.4 of the paper).
+
+* :class:`AdaMELBase` — supervised training on the labeled source domain only
+  (Eq. 8); the attribute importance is *not* adapted to the target domain.
+* :class:`AdaMELZero` — unsupervised domain adaptation (Algorithm 1): the KL
+  divergence between the averaged target-domain attention distribution and
+  each source pair's attention distribution regularises training (Eq. 9/10);
+  no target labels are used (zero-shot).
+* :class:`AdaMELFew` — semi-supervised adaptation via a small labeled support
+  set (Algorithm 2, Eq. 12/13).
+* :class:`AdaMELHybrid` — both the unlabeled target domain and the labeled
+  support set (Algorithm 3, Eq. 14); the best-performing variant in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..text.embeddings import TokenEmbedder
+from .config import AdaMELConfig
+from .trainer import AdaMELTrainer
+
+__all__ = ["AdaMELBase", "AdaMELZero", "AdaMELFew", "AdaMELHybrid", "VARIANTS", "create_variant"]
+
+
+class AdaMELBase(AdaMELTrainer):
+    """AdaMEL-base: supervised learning on ``D_S`` only (no adaptation)."""
+
+    variant = "adamel-base"
+    uses_target = False
+    uses_support = False
+
+
+class AdaMELZero(AdaMELTrainer):
+    """AdaMEL-zero: unsupervised domain adaptation on the unlabeled ``D_T``."""
+
+    variant = "adamel-zero"
+    uses_target = True
+    uses_support = False
+
+
+class AdaMELFew(AdaMELTrainer):
+    """AdaMEL-few: semi-supervised adaptation via the labeled support set."""
+
+    variant = "adamel-few"
+    uses_target = False
+    uses_support = True
+
+
+class AdaMELHybrid(AdaMELTrainer):
+    """AdaMEL-hyb: joint adaptation on ``D_T`` and supervision from ``S_U``."""
+
+    variant = "adamel-hyb"
+    uses_target = True
+    uses_support = True
+
+
+VARIANTS = {
+    "base": AdaMELBase,
+    "zero": AdaMELZero,
+    "few": AdaMELFew,
+    "hyb": AdaMELHybrid,
+    "hybrid": AdaMELHybrid,
+}
+
+
+def create_variant(name: str, config: Optional[AdaMELConfig] = None,
+                   embedder: Optional[TokenEmbedder] = None) -> AdaMELTrainer:
+    """Instantiate an AdaMEL variant by short name (``base``/``zero``/``few``/``hyb``)."""
+    key = name.lower().replace("adamel-", "")
+    if key not in VARIANTS:
+        raise KeyError(f"unknown AdaMEL variant {name!r}; available: {sorted(set(VARIANTS))}")
+    return VARIANTS[key](config=config, embedder=embedder)

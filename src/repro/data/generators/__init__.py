@@ -1,0 +1,41 @@
+"""Synthetic corpus generators substituting for the paper's proprietary data."""
+
+from .base import CorpusGenerator, MultiSourceCorpus, SyntheticEntity
+from .benchmark import BENCHMARK_PROFILES, BenchmarkGenerator, BenchmarkProfile, load_benchmark
+from .corruptions import SourceStyle, apply_style
+from .monitor import (
+    MONITOR_SCHEMA,
+    MONITOR_SEEN_SOURCES,
+    MONITOR_SOURCES,
+    MonitorCorpusGenerator,
+    MonitorGeneratorConfig,
+)
+from .music import (
+    MUSIC_SCHEMA,
+    MUSIC_SEEN_SOURCES,
+    MUSIC_SOURCES,
+    MusicCorpusGenerator,
+    MusicGeneratorConfig,
+)
+
+__all__ = [
+    "CorpusGenerator",
+    "MultiSourceCorpus",
+    "SyntheticEntity",
+    "SourceStyle",
+    "apply_style",
+    "MusicCorpusGenerator",
+    "MusicGeneratorConfig",
+    "MUSIC_SCHEMA",
+    "MUSIC_SOURCES",
+    "MUSIC_SEEN_SOURCES",
+    "MonitorCorpusGenerator",
+    "MonitorGeneratorConfig",
+    "MONITOR_SCHEMA",
+    "MONITOR_SOURCES",
+    "MONITOR_SEEN_SOURCES",
+    "BenchmarkGenerator",
+    "BenchmarkProfile",
+    "BENCHMARK_PROFILES",
+    "load_benchmark",
+]

@@ -1,0 +1,154 @@
+"""Per-source formatting styles and value corruption.
+
+Each synthetic data source is assigned a :class:`SourceStyle` that controls how
+the canonical attribute values of an entity are rendered on that website.
+The styles deliberately reproduce the paper's three data challenges:
+
+* **C1 — missing values**: each (source, attribute) has a missingness rate;
+* **C2 — new attributes**: a source only supports a subset of the schema, and
+  some attributes exist only on target-domain sources;
+* **C3 — distribution shift**: abbreviation of names, casing changes, extra
+  boilerplate tokens, locale-specific vocabulary and noisy characters differ
+  per source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from .names import NATIVE_SUFFIXES, abbreviate_name
+
+__all__ = ["SourceStyle", "apply_style", "typo", "shuffle_tokens", "drop_tokens"]
+
+
+def typo(value: str, rng: np.random.Generator, rate: float = 0.05) -> str:
+    """Introduce character-level typos (swap/delete) with probability ``rate`` per word."""
+    words = value.split()
+    mutated: List[str] = []
+    for word in words:
+        if len(word) > 3 and rng.random() < rate:
+            pos = int(rng.integers(1, len(word) - 1))
+            if rng.random() < 0.5:
+                word = word[:pos] + word[pos + 1:]
+            else:
+                word = word[:pos] + word[pos + 1] + word[pos] + word[pos + 2:]
+        mutated.append(word)
+    return " ".join(mutated)
+
+
+def shuffle_tokens(value: str, rng: np.random.Generator, probability: float = 0.2) -> str:
+    """Shuffle token order with the given probability (e.g. "Diamond, Neil")."""
+    words = value.split()
+    if len(words) > 1 and rng.random() < probability:
+        order = rng.permutation(len(words))
+        return " ".join(words[i] for i in order)
+    return value
+
+
+def drop_tokens(value: str, rng: np.random.Generator, rate: float = 0.1) -> str:
+    """Randomly drop tokens (truncated listings), keeping at least one."""
+    words = value.split()
+    if len(words) <= 1:
+        return value
+    kept = [word for word in words if rng.random() >= rate]
+    return " ".join(kept) if kept else words[0]
+
+
+@dataclass
+class SourceStyle:
+    """The rendering style of one data source.
+
+    Parameters
+    ----------
+    source:
+        The source (website) name.
+    supported_attributes:
+        Attributes this source ever populates (C2); ``None`` means all.
+    missing_rates:
+        Per-attribute probability of rendering an empty value (C1); the
+        ``default_missing_rate`` applies to attributes not listed.
+    abbreviate_attributes:
+        Attributes whose person-name values get abbreviated to initials (C3).
+    abbreviate_probability:
+        Probability of abbreviating when the attribute is in the set above.
+    uppercase / titlecase:
+        Casing conventions of the site.
+    prefix_tokens / suffix_tokens:
+        Boilerplate added around values (e.g. "Buy", "- official site").
+    native_language_probability:
+        Probability of appending a non-English phrase (Music corpora contain
+        non-English characters per the paper).
+    typo_rate, token_drop_rate, token_shuffle_probability:
+        Noise levels.
+    vocabulary_overrides:
+        Per-attribute mapping applied to categorical values to shift the token
+        distribution between domains (Fig. 12).
+    """
+
+    source: str
+    supported_attributes: Optional[FrozenSet[str]] = None
+    missing_rates: Dict[str, float] = field(default_factory=dict)
+    default_missing_rate: float = 0.05
+    abbreviate_attributes: FrozenSet[str] = frozenset()
+    abbreviate_probability: float = 0.0
+    uppercase: bool = False
+    titlecase: bool = False
+    prefix_tokens: Dict[str, str] = field(default_factory=dict)
+    suffix_tokens: Dict[str, str] = field(default_factory=dict)
+    native_language_probability: float = 0.0
+    typo_rate: float = 0.0
+    token_drop_rate: float = 0.0
+    token_shuffle_probability: float = 0.0
+    vocabulary_overrides: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def missing_rate(self, attribute: str) -> float:
+        """Effective missingness rate for ``attribute`` on this source."""
+        return self.missing_rates.get(attribute, self.default_missing_rate)
+
+    def supports(self, attribute: str) -> bool:
+        """Whether this source ever populates ``attribute``."""
+        return self.supported_attributes is None or attribute in self.supported_attributes
+
+
+def apply_style(style: SourceStyle, attribute: str, value: str,
+                rng: np.random.Generator) -> str:
+    """Render a canonical ``value`` of ``attribute`` in the style of a source.
+
+    Returns the possibly-corrupted string; an empty string models a missing
+    value (C1/C2).
+    """
+    if not value:
+        return ""
+    if not style.supports(attribute):
+        return ""
+    if rng.random() < style.missing_rate(attribute):
+        return ""
+
+    rendered = value
+    overrides = style.vocabulary_overrides.get(attribute)
+    if overrides:
+        rendered = overrides.get(rendered.lower(), rendered)
+    if attribute in style.abbreviate_attributes and rng.random() < style.abbreviate_probability:
+        rendered = abbreviate_name(rendered)
+    if style.token_shuffle_probability:
+        rendered = shuffle_tokens(rendered, rng, style.token_shuffle_probability)
+    if style.token_drop_rate:
+        rendered = drop_tokens(rendered, rng, style.token_drop_rate)
+    if style.typo_rate:
+        rendered = typo(rendered, rng, style.typo_rate)
+    prefix = style.prefix_tokens.get(attribute, "")
+    suffix = style.suffix_tokens.get(attribute, "")
+    if prefix:
+        rendered = f"{prefix} {rendered}"
+    if suffix:
+        rendered = f"{rendered} {suffix}"
+    if style.native_language_probability and rng.random() < style.native_language_probability:
+        rendered = f"{rendered} {NATIVE_SUFFIXES[int(rng.integers(len(NATIVE_SUFFIXES)))]}"
+    if style.uppercase:
+        rendered = rendered.upper()
+    elif style.titlecase:
+        rendered = rendered.title()
+    return rendered.strip()

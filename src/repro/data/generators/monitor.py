@@ -1,0 +1,212 @@
+"""Synthetic Monitor corpus (DI2KG challenge analogue).
+
+The public Monitor dataset aggregates monitor listings from 24 shopping
+websites.  This generator reproduces its documented characteristics
+(Section 5.1 and Appendix A.2 of the paper):
+
+* 24 data sources, 5 of which (``ebay.com``, ``catalog.com``,
+  ``best-deal-items.com``, ``cleverboxes.com``, ``ca.pcpartpicker.com``)
+  form the seen source domain of the experiments;
+* 13 textual attributes, of which only ``page_title`` and ``source`` are
+  nearly always populated; most others are missing on >50 % of pairs (C1);
+* five attributes are populated only on target-domain sources (C2);
+* the token distribution of ``prod_type`` differs between the seen and unseen
+  sources (C3, Fig. 12);
+* heavy class imbalance (the real dataset is >99 % non-matching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...utils.rng import SeedLike
+from ..schema import Schema
+from .base import CorpusGenerator, MultiSourceCorpus, SyntheticEntity
+from .corruptions import SourceStyle
+from .names import CONDITIONS, MONITOR_BRANDS, MONITOR_FEATURES, MONITOR_PANEL_TYPES, MONITOR_TYPES
+
+__all__ = ["MonitorCorpusGenerator", "MONITOR_SCHEMA", "MONITOR_SOURCES", "MONITOR_SEEN_SOURCES"]
+
+MONITOR_SCHEMA = Schema((
+    "page_title",
+    "source",
+    "manufacturer",
+    "prod_type",
+    "screen_size",
+    "resolution",
+    "condition",
+    "price",
+    "model",
+    "refresh_rate",
+    "panel_type",
+    "ports",
+    "warranty",
+))
+
+# Attributes that only target-domain sources populate (challenge C2);
+# the paper reports 5 of 13 attributes with non-missing pairs only in D_T.
+TARGET_ONLY_ATTRIBUTES = frozenset({"refresh_rate", "panel_type", "ports", "warranty", "model"})
+
+MONITOR_SEEN_SOURCES: Sequence[str] = (
+    "ebay.com", "catalog.com", "best-deal-items.com", "cleverboxes.com", "ca.pcpartpicker.com",
+)
+
+_EXTRA_SOURCES: Sequence[str] = (
+    "yikus.com", "getprice.com", "shopmania.com", "pricedekho.com", "buzzillions.com",
+    "productreview.net", "shopzilla.net", "pricequebec.com", "monitors-direct.com",
+    "displaydeals.io", "techbargains.org", "screenfinder.net", "officesupply.example",
+    "electrovalue.example", "gadgetmart.example", "visualshop.example", "pixelprice.example",
+    "brightdeals.example", "panelplaza.example",
+)
+
+MONITOR_SOURCES: Sequence[str] = tuple(MONITOR_SEEN_SOURCES) + tuple(_EXTRA_SOURCES)
+
+_RESOLUTIONS = ("1920x1080", "2560x1440", "3840x2160", "1680x1050", "1280x1024", "3440x1440")
+_REFRESH_RATES = ("60hz", "75hz", "120hz", "144hz", "165hz", "240hz")
+_WARRANTIES = ("1 year", "2 years", "3 years", "90 days", "5 years limited")
+
+# prod_type vocabulary shift between seen and unseen sources (Fig. 12).
+_SEEN_PROD_TYPES = ("led monitor", "lcd monitor", "business monitor", "professional monitor")
+_TARGET_PROD_TYPES = ("gaming monitor", "curved monitor", "ultrawide monitor", "4k monitor",
+                      "touchscreen monitor", "portable monitor")
+
+
+@dataclass
+class MonitorGeneratorConfig:
+    """Size and imbalance knobs for the Monitor generator."""
+
+    num_entities: int = 150
+    negatives_per_positive: float = 6.0
+    hard_negative_fraction: float = 0.75
+    near_duplicate_fraction: float = 0.4
+    min_sources_per_entity: int = 2
+    max_sources_per_entity: int = 6
+
+
+class MonitorCorpusGenerator(CorpusGenerator):
+    """Generate the synthetic Monitor corpus."""
+
+    def __init__(self, config: Optional[MonitorGeneratorConfig] = None,
+                 num_sources: int = 24, seed: SeedLike = 0) -> None:
+        super().__init__(seed=seed)
+        if not 6 <= num_sources <= len(MONITOR_SOURCES):
+            raise ValueError(
+                f"num_sources must be between 6 and {len(MONITOR_SOURCES)}, got {num_sources}"
+            )
+        self.config = config or MonitorGeneratorConfig()
+        self.sources: List[str] = list(MONITOR_SOURCES[:num_sources])
+
+    # ------------------------------------------------------------------ #
+    def entity_catalogue(self, num_entities: int) -> List[SyntheticEntity]:
+        entities: List[SyntheticEntity] = []
+        for index in range(num_entities):
+            if entities and self.rng.random() < self.config.near_duplicate_fraction:
+                # Near-duplicate: same product family (brand + model series) as
+                # an existing monitor, differing only in the size/variant code —
+                # the classic hard case in product matching.
+                template = entities[int(self.rng.integers(len(entities)))]
+                brand = template.attributes["manufacturer"]
+                series = template.attributes["model"][0]
+                base_number = int(template.attributes["model"][1:])
+                model_number = f"{series}{base_number + int(self.rng.integers(1, 5))}"
+            else:
+                brand = MONITOR_BRANDS[int(self.rng.integers(len(MONITOR_BRANDS)))]
+                series = chr(ord("a") + int(self.rng.integers(26))).upper()
+                model_number = f"{series}{int(self.rng.integers(1000, 9999))}"
+            size = f"{int(self.rng.integers(19, 49))}"
+            resolution = _RESOLUTIONS[int(self.rng.integers(len(_RESOLUTIONS)))]
+            prod_type = MONITOR_TYPES[int(self.rng.integers(len(MONITOR_TYPES)))]
+            panel = MONITOR_PANEL_TYPES[int(self.rng.integers(len(MONITOR_PANEL_TYPES)))]
+            refresh = _REFRESH_RATES[int(self.rng.integers(len(_REFRESH_RATES)))]
+            price = f"{int(self.rng.integers(89, 1899))}.{int(self.rng.integers(0, 99)):02d}"
+            feature_count = int(self.rng.integers(1, 4))
+            feature_ids = self.rng.choice(len(MONITOR_FEATURES), size=feature_count, replace=False)
+            ports = " ".join(MONITOR_FEATURES[int(i)] for i in feature_ids)
+            condition = CONDITIONS[int(self.rng.integers(len(CONDITIONS)))]
+            warranty = _WARRANTIES[int(self.rng.integers(len(_WARRANTIES)))]
+            page_title = f"{brand} {model_number} {size} inch {prod_type} {resolution}"
+            attributes = {
+                "page_title": page_title,
+                "manufacturer": brand,
+                "prod_type": prod_type,
+                "screen_size": f"{size} inch",
+                "resolution": resolution,
+                "condition": condition,
+                "price": price,
+                "model": model_number,
+                "refresh_rate": refresh,
+                "panel_type": panel,
+                "ports": ports,
+                "warranty": warranty,
+            }
+            entities.append(SyntheticEntity(entity_id=f"monitor_{index}", entity_type="monitor",
+                                            attributes=attributes))
+        return entities
+
+    # ------------------------------------------------------------------ #
+    def source_styles(self) -> Dict[str, SourceStyle]:
+        styles: Dict[str, SourceStyle] = {}
+        seen_set = set(MONITOR_SEEN_SOURCES)
+        for index, source in enumerate(self.sources):
+            seen = source in seen_set
+            if seen:
+                # Seen sources never populate the target-only attributes and
+                # mostly use the "seen" prod_type vocabulary.
+                supported = frozenset(attr for attr in MONITOR_SCHEMA
+                                      if attr not in TARGET_ONLY_ATTRIBUTES)
+                prod_type_overrides = {ptype: _SEEN_PROD_TYPES[i % len(_SEEN_PROD_TYPES)]
+                                       for i, ptype in enumerate(MONITOR_TYPES)}
+                styles[source] = SourceStyle(
+                    source=source,
+                    supported_attributes=supported,
+                    default_missing_rate=0.45,
+                    missing_rates={"page_title": 0.02, "source": 0.0, "manufacturer": 0.35,
+                                   "prod_type": 0.4, "condition": 0.5},
+                    typo_rate=0.02,
+                    vocabulary_overrides={"prod_type": prod_type_overrides},
+                    prefix_tokens={"page_title": "buy" if index == 0 else ""},
+                )
+            else:
+                prod_type_overrides = {ptype: _TARGET_PROD_TYPES[i % len(_TARGET_PROD_TYPES)]
+                                       for i, ptype in enumerate(MONITOR_TYPES)}
+                styles[source] = SourceStyle(
+                    source=source,
+                    supported_attributes=None,
+                    default_missing_rate=0.55,
+                    missing_rates={"page_title": 0.03, "source": 0.0, "manufacturer": 0.45,
+                                   "prod_type": 0.45, "refresh_rate": 0.5, "panel_type": 0.55,
+                                   "ports": 0.6, "warranty": 0.65, "model": 0.5},
+                    typo_rate=0.04,
+                    token_drop_rate=0.06,
+                    uppercase=(index % 7 == 6),
+                    titlecase=(index % 5 == 4),
+                    vocabulary_overrides={"prod_type": prod_type_overrides},
+                    suffix_tokens={"page_title": "free shipping" if index % 4 == 3 else ""},
+                )
+        return styles
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> MultiSourceCorpus:
+        """Generate the corpus with records, labeled pairs and metadata."""
+        config = self.config
+        entities = self.entity_catalogue(config.num_entities)
+        styles = self.source_styles()
+        records = self.render_records(entities, MONITOR_SCHEMA, styles,
+                                      min_sources_per_entity=config.min_sources_per_entity,
+                                      max_sources_per_entity=config.max_sources_per_entity)
+        records = [record.with_attributes({**record.attributes, "source": record.source})
+                   for record in records]
+        pairs = self.build_pairs(records,
+                                 negatives_per_positive=config.negatives_per_positive,
+                                 hard_negative_fraction=config.hard_negative_fraction)
+        return MultiSourceCorpus(
+            name="monitor",
+            records=records,
+            pairs=pairs,
+            sources=list(self.sources),
+            schema=MONITOR_SCHEMA,
+            entity_type="monitor",
+        )

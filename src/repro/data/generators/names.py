@@ -1,0 +1,142 @@
+"""Word pools used to synthesise entity catalogues.
+
+The original Music-1M/3K and Monitor corpora are proprietary / external; the
+generators in this package synthesise catalogues with comparable structure.
+The pools below are intentionally large enough that entities rarely collide by
+accident, yet produce hard negatives (shared words across different entities).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "TITLE_ADJECTIVES",
+    "TITLE_NOUNS",
+    "TITLE_VERBS",
+    "GENRES",
+    "COUNTRIES",
+    "NATIVE_SUFFIXES",
+    "MONITOR_BRANDS",
+    "MONITOR_TYPES",
+    "MONITOR_PANEL_TYPES",
+    "MONITOR_FEATURES",
+    "CONDITIONS",
+    "random_person_name",
+    "random_title",
+    "abbreviate_name",
+]
+
+FIRST_NAMES: Sequence[str] = (
+    "Neil", "Paul", "John", "George", "Ringo", "Aretha", "Nina", "Miles", "Ella", "Louis",
+    "Joni", "Leonard", "Bob", "Patti", "Stevie", "Marvin", "Otis", "Janis", "Jimi", "Carole",
+    "Dolly", "Willie", "Johnny", "Loretta", "Emmylou", "Bruce", "Tom", "Chrissie", "Debbie", "David",
+    "Freddie", "Brian", "Roger", "Kate", "Peter", "Phil", "Annie", "Alison", "Bjork", "Thom",
+    "Damon", "Jarvis", "Polly", "Nick", "Tim", "Jeff", "Elliott", "Fiona", "Regina", "Sufjan",
+    "Alan", "Avicii", "Kygo", "Zedd", "Calvin", "Ellie", "Sia", "Lorde", "Adele", "Sam",
+    "Hozier", "Florence", "Marcus", "Laura", "James", "Norah", "Diana", "Amy", "Duffy", "Corinne",
+    "Angel", "Rosa", "Mateo", "Lucia", "Hiro", "Yuki", "Kenji", "Mei", "Anya", "Dmitri",
+    "Ingrid", "Lars", "Astrid", "Sven", "Amara", "Kofi", "Zara", "Omar", "Leila", "Tariq",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "Diamond", "McCartney", "Lennon", "Harrison", "Starr", "Franklin", "Simone", "Davis", "Fitzgerald", "Armstrong",
+    "Mitchell", "Cohen", "Dylan", "Smith", "Wonder", "Gaye", "Redding", "Joplin", "Hendrix", "King",
+    "Parton", "Nelson", "Cash", "Lynn", "Harris", "Springsteen", "Petty", "Hynde", "Harry", "Bowie",
+    "Mercury", "May", "Taylor", "Bush", "Gabriel", "Collins", "Lennox", "Krauss", "Gudmundsdottir", "Yorke",
+    "Albarn", "Cocker", "Harvey", "Cave", "Buckley", "Drake", "Walker", "Bergling", "Gorves", "Apple",
+    "Spektor", "Stevens", "Vega", "Morrison", "Jones", "Krall", "Winehouse", "Rae", "Olsen", "Batiste",
+    "Okafor", "Tanaka", "Sato", "Nakamura", "Ivanov", "Petrova", "Larsson", "Nilsson", "Berg", "Haddad",
+    "Nguyen", "Tran", "Garcia", "Martinez", "Silva", "Santos", "Rossi", "Bianchi", "Dubois", "Moreau",
+)
+
+TITLE_ADJECTIVES: Sequence[str] = (
+    "Sweet", "Blue", "Golden", "Silent", "Electric", "Broken", "Midnight", "Crimson", "Silver", "Wild",
+    "Lonely", "Burning", "Frozen", "Hidden", "Endless", "Fading", "Rising", "Falling", "Distant", "Gentle",
+    "Hollow", "Sacred", "Velvet", "Neon", "Paper", "Glass", "Iron", "Wooden", "Scarlet", "Pale",
+)
+
+TITLE_NOUNS: Sequence[str] = (
+    "Caroline", "River", "Mountain", "Ocean", "Road", "Heart", "Dream", "Fire", "Rain", "Star",
+    "Moon", "Sun", "Shadow", "Light", "Dance", "Song", "Night", "Morning", "Summer", "Winter",
+    "Garden", "City", "Home", "Train", "Bridge", "Window", "Mirror", "Letter", "Highway", "Storm",
+    "Valley", "Harbor", "Island", "Forest", "Desert", "Canyon", "Meadow", "Horizon", "Echo", "Ember",
+)
+
+TITLE_VERBS: Sequence[str] = (
+    "Wake", "Raise", "Hold", "Take", "Leave", "Carry", "Follow", "Remember", "Forget", "Believe",
+    "Run", "Stay", "Fall", "Fly", "Breathe", "Shine", "Burn", "Drift", "Wander", "Return",
+)
+
+GENRES: Sequence[str] = (
+    "rock", "pop", "folk", "jazz", "soul", "blues", "country", "electronic", "indie", "classical",
+    "hip hop", "r&b", "reggae", "metal", "punk", "ambient", "house", "techno", "gospel", "latin",
+)
+
+COUNTRIES: Sequence[str] = (
+    "USA", "UK", "Canada", "Australia", "Sweden", "Norway", "Japan", "Brazil", "France", "Germany",
+    "Ireland", "Iceland", "Nigeria", "South Korea", "Mexico", "Spain", "Italy", "Netherlands",
+)
+
+NATIVE_SUFFIXES: Sequence[str] = (
+    "оригинал", "официальный", "音楽", "歌手", "gagnant", "cantante", "sanger", "musiker",
+    "गायक", "歌手名", "художник", "musicien",
+)
+
+MONITOR_BRANDS: Sequence[str] = (
+    "Dell", "HP", "Samsung", "LG", "Acer", "Asus", "BenQ", "ViewSonic", "AOC", "Philips",
+    "Lenovo", "MSI", "Gigabyte", "NEC", "Eizo", "Sceptre", "Iiyama", "Hannspree",
+)
+
+MONITOR_TYPES: Sequence[str] = (
+    "led monitor", "lcd monitor", "gaming monitor", "ultrawide monitor", "curved monitor",
+    "professional monitor", "touchscreen monitor", "portable monitor", "4k monitor", "business monitor",
+)
+
+MONITOR_PANEL_TYPES: Sequence[str] = ("IPS", "TN", "VA", "OLED", "PLS")
+
+MONITOR_FEATURES: Sequence[str] = (
+    "hdmi", "displayport", "vga", "dvi", "usb-c", "speakers", "pivot", "height adjustable",
+    "anti glare", "flicker free", "low blue light", "vesa mount", "freesync", "g-sync",
+)
+
+CONDITIONS: Sequence[str] = ("new", "used", "refurbished", "open box", "like new", "for parts")
+
+
+def random_person_name(rng: np.random.Generator) -> str:
+    """Draw a two-token person name from the pools."""
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+    return f"{first} {last}"
+
+
+def random_title(rng: np.random.Generator, min_words: int = 2, max_words: int = 4) -> str:
+    """Draw a song/album style title, e.g. "Sweet Caroline" or "Wake Me Up"."""
+    num_words = int(rng.integers(min_words, max_words + 1))
+    words: List[str] = []
+    for position in range(num_words):
+        pool_choice = rng.random()
+        if position == 0 and pool_choice < 0.3:
+            words.append(TITLE_VERBS[int(rng.integers(len(TITLE_VERBS)))])
+        elif pool_choice < 0.55:
+            words.append(TITLE_ADJECTIVES[int(rng.integers(len(TITLE_ADJECTIVES)))])
+        else:
+            words.append(TITLE_NOUNS[int(rng.integers(len(TITLE_NOUNS)))])
+    return " ".join(words)
+
+
+def abbreviate_name(name: str) -> str:
+    """Abbreviate a person name to initials, e.g. "Neil Diamond" -> "N. D.".
+
+    This mirrors the paper's motivating example where some music websites
+    record the artist with initials, reducing the informativeness of the
+    "Artist" attribute in the target domain (challenge C3).
+    """
+    parts = [part for part in name.split() if part]
+    if not parts:
+        return name
+    return " ".join(f"{part[0].upper()}." for part in parts)

@@ -1,0 +1,163 @@
+"""Entity records and entity pairs — the basic data objects of MEL.
+
+A :class:`Record` is a row collected from one data source (website/database)
+identified by its textual attributes.  A :class:`EntityPair` couples two
+records and, optionally, a matching/non-matching label.  AdaMEL always works
+on pairs (Problem 1/2 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Record", "EntityPair", "MISSING_VALUE"]
+
+MISSING_VALUE = ""
+
+
+@dataclass(frozen=True)
+class Record:
+    """An entity record from one data source.
+
+    Attributes
+    ----------
+    record_id:
+        Unique identifier within the corpus.
+    source:
+        The data source (``r*`` in the paper) this record was sampled from.
+    attributes:
+        Mapping of attribute name to textual value; missing values are the
+        empty string (challenge C1).
+    entity_id:
+        The id of the underlying real-world entity when known (used by the
+        synthetic generators to derive labels; hidden from the models).
+    entity_type:
+        Optional entity type (artist / album / track / monitor).
+    """
+
+    record_id: str
+    source: str
+    attributes: Mapping[str, str]
+    entity_id: Optional[str] = None
+    entity_type: Optional[str] = None
+
+    def value(self, attribute: str) -> str:
+        """Return the value of ``attribute`` (empty string when missing)."""
+        value = self.attributes.get(attribute, MISSING_VALUE)
+        return value if value is not None else MISSING_VALUE
+
+    def has_value(self, attribute: str) -> bool:
+        """Whether the attribute has a non-empty value."""
+        return bool(self.value(attribute).strip())
+
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of the attributes present on this record."""
+        return tuple(self.attributes.keys())
+
+    def with_attributes(self, attributes: Mapping[str, str]) -> "Record":
+        """Return a copy with ``attributes`` replacing the current mapping."""
+        return Record(
+            record_id=self.record_id,
+            source=self.source,
+            attributes=dict(attributes),
+            entity_id=self.entity_id,
+            entity_type=self.entity_type,
+        )
+
+    def missing_attributes(self, schema: Iterable[str]) -> List[str]:
+        """Attributes of ``schema`` with no value on this record."""
+        return [attribute for attribute in schema if not self.has_value(attribute)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dict (for CSV/JSONL storage)."""
+        return {
+            "record_id": self.record_id,
+            "source": self.source,
+            "entity_id": self.entity_id,
+            "entity_type": self.entity_type,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Record":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            record_id=str(payload["record_id"]),
+            source=str(payload["source"]),
+            attributes=dict(payload.get("attributes", {})),  # type: ignore[arg-type]
+            entity_id=payload.get("entity_id"),  # type: ignore[arg-type]
+            entity_type=payload.get("entity_type"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class EntityPair:
+    """A pair of entity records with an optional matching label.
+
+    ``label`` is ``1`` for matching, ``0`` for non-matching, ``None`` when
+    unlabeled (target-domain pairs before annotation).
+    """
+
+    left: Record
+    right: Record
+    label: Optional[int] = None
+    pair_id: Optional[str] = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.label is not None and self.label not in (0, 1):
+            raise ValueError(f"label must be 0, 1 or None, got {self.label!r}")
+        if self.pair_id is None:
+            object.__setattr__(self, "pair_id", f"{self.left.record_id}|{self.right.record_id}")
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.label is not None
+
+    @property
+    def sources(self) -> Tuple[str, str]:
+        """The pair's (left source, right source)."""
+        return self.left.source, self.right.source
+
+    def source_set(self) -> frozenset:
+        """Set of data sources this pair touches."""
+        return frozenset((self.left.source, self.right.source))
+
+    def values(self, attribute: str) -> Tuple[str, str]:
+        """Return (left value, right value) for ``attribute``."""
+        return self.left.value(attribute), self.right.value(attribute)
+
+    def both_present(self, attribute: str) -> bool:
+        """True when neither side is missing ``attribute`` (Fig. 11 metric)."""
+        return self.left.has_value(attribute) and self.right.has_value(attribute)
+
+    def with_label(self, label: Optional[int]) -> "EntityPair":
+        """Return a copy of this pair carrying ``label``."""
+        return EntityPair(left=self.left, right=self.right, label=label,
+                          pair_id=self.pair_id, weight=self.weight)
+
+    def unlabeled(self) -> "EntityPair":
+        """Return a copy with the label removed (target-domain view)."""
+        return self.with_label(None)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dict."""
+        return {
+            "pair_id": self.pair_id,
+            "label": self.label,
+            "weight": self.weight,
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EntityPair":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            left=Record.from_dict(payload["left"]),  # type: ignore[arg-type]
+            right=Record.from_dict(payload["right"]),  # type: ignore[arg-type]
+            label=payload.get("label"),  # type: ignore[arg-type]
+            pair_id=payload.get("pair_id"),  # type: ignore[arg-type]
+            weight=float(payload.get("weight", 1.0)),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,117 @@
+"""Batch sampling and pair-sampling utilities.
+
+AdaMEL trains with mini-batches randomly drawn from the labeled source domain
+(Algorithm 1, line 7).  The samplers here are deterministic given a seed and
+support class-balanced sampling, which the synthetic generators and the
+support-set experiments (Fig. 10) use to draw "50 positive / 50 negative"
+style samples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import SeedLike, spawn_rng
+from .records import EntityPair
+
+__all__ = ["BatchSampler", "sample_balanced", "sample_support_set", "negative_pairs_from_records"]
+
+
+class BatchSampler:
+    """Yield shuffled mini-batches of indices over a dataset of ``n`` items."""
+
+    def __init__(self, num_items: int, batch_size: int, shuffle: bool = True,
+                 drop_last: bool = False, seed: SeedLike = 0) -> None:
+        if num_items <= 0:
+            raise ValueError(f"num_items must be positive, got {num_items}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.num_items = num_items
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = spawn_rng(seed)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = np.arange(self.num_items)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, self.num_items, self.batch_size):
+            batch = order[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield batch
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return self.num_items // self.batch_size
+        return (self.num_items + self.batch_size - 1) // self.batch_size
+
+
+def sample_balanced(pairs: Sequence[EntityPair], num_positive: int, num_negative: int,
+                    seed: SeedLike = 0) -> List[EntityPair]:
+    """Draw up to ``num_positive`` positives and ``num_negative`` negatives.
+
+    Sampling is without replacement; when a class has fewer pairs than
+    requested, all of them are returned.
+    """
+    rng = spawn_rng(seed)
+    positives = [pair for pair in pairs if pair.label == 1]
+    negatives = [pair for pair in pairs if pair.label == 0]
+    chosen: List[EntityPair] = []
+    if positives:
+        take = min(num_positive, len(positives))
+        indices = rng.choice(len(positives), size=take, replace=False)
+        chosen.extend(positives[i] for i in indices)
+    if negatives:
+        take = min(num_negative, len(negatives))
+        indices = rng.choice(len(negatives), size=take, replace=False)
+        chosen.extend(negatives[i] for i in indices)
+    rng.shuffle(chosen)
+    return chosen
+
+
+def sample_support_set(pairs: Sequence[EntityPair], size: int, balanced: bool = True,
+                       seed: SeedLike = 0) -> List[EntityPair]:
+    """Sample a labeled support set of ``size`` pairs from ``pairs``.
+
+    The paper collects 100 samples (50 positive, 50 negative) from the target
+    domain; ``balanced=True`` reproduces that protocol while ``balanced=False``
+    samples uniformly.
+    """
+    labeled = [pair for pair in pairs if pair.is_labeled]
+    if size <= 0 or not labeled:
+        return []
+    if balanced:
+        half = max(size // 2, 1)
+        sampled = sample_balanced(labeled, num_positive=half, num_negative=size - half, seed=seed)
+        return sampled[:size]
+    rng = spawn_rng(seed)
+    take = min(size, len(labeled))
+    indices = rng.choice(len(labeled), size=take, replace=False)
+    return [labeled[i] for i in indices]
+
+
+def negative_pairs_from_records(records: Sequence, num_pairs: int, seed: SeedLike = 0,
+                                entity_key: str = "entity_id") -> List[EntityPair]:
+    """Create non-matching pairs by sampling records of different entities.
+
+    Used by the synthetic corpus generators to produce hard negatives in the
+    same way production EL pipelines sample candidates after blocking.
+    """
+    rng = spawn_rng(seed)
+    negatives: List[EntityPair] = []
+    if len(records) < 2:
+        return negatives
+    attempts = 0
+    max_attempts = num_pairs * 20
+    while len(negatives) < num_pairs and attempts < max_attempts:
+        attempts += 1
+        i, j = rng.choice(len(records), size=2, replace=False)
+        left, right = records[i], records[j]
+        if getattr(left, entity_key) == getattr(right, entity_key):
+            continue
+        negatives.append(EntityPair(left=left, right=right, label=0))
+    return negatives

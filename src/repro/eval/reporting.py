@@ -1,0 +1,65 @@
+"""Plain-text table formatting for experiment outputs.
+
+Every benchmark harness prints the rows/series of the corresponding paper
+table or figure; these helpers render them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_results_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None, float_format: str = "{:.4f}") -> str:
+    """Render a monospace table with aligned columns."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_results_table(results: Mapping[str, Mapping[str, float]], metric_order: Optional[Sequence[str]] = None,
+                         title: Optional[str] = None) -> str:
+    """Render ``{method: {column: value}}`` as a table with methods as rows."""
+    if not results:
+        return title or ""
+    columns: List[str] = list(metric_order) if metric_order else sorted(
+        {column for values in results.values() for column in values})
+    headers = ["method"] + columns
+    rows = [[method] + [values.get(column, float("nan")) for column in columns]
+            for method, values in results.items()]
+    return format_table(headers, rows, title=title)
+
+
+def format_series(x_label: str, x_values: Sequence[object],
+                  series: Mapping[str, Sequence[float]], title: Optional[str] = None) -> str:
+    """Render figure-style series (one column per named series)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,78 @@
+"""Figure 6 / Tables 8-9: MEL performance of AdaMEL variants vs baselines.
+
+For a chosen dataset (Music-3K, Music-1M or Monitor analogue), entity type and
+scenario mode (overlapping / disjoint), every method is trained from scratch
+on the same :class:`~repro.data.domain.MELScenario` and scored with PRAUC on
+the held-out labeled target pairs — exactly the comparison of Figure 6 and of
+the complete numerical Tables 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..eval.evaluation import EvaluationResult, compare_models
+from ..eval.reporting import format_results_table
+from .scenarios import MODES, ExperimentScale, build_scenario, model_factories
+
+__all__ = ["Figure6Result", "run_figure6"]
+
+
+@dataclass
+class Figure6Result:
+    """Results of one Figure 6 panel: ``results[mode][method]``."""
+
+    dataset: str
+    entity_type: str
+    results: Dict[str, Dict[str, EvaluationResult]] = field(default_factory=dict)
+
+    def pr_auc(self, mode: str, method: str) -> float:
+        return self.results[mode][method].pr_auc
+
+    def best_method(self, mode: str) -> str:
+        """Method with the highest PRAUC in the given mode."""
+        mode_results = self.results[mode]
+        return max(mode_results, key=lambda name: mode_results[name].pr_auc)
+
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        return {mode: {method: result.as_dict() for method, result in mode_results.items()}
+                for mode, mode_results in self.results.items()}
+
+    def format(self) -> str:
+        """Render the panel as a table matching the layout of Tables 8/9."""
+        blocks: List[str] = []
+        for mode, mode_results in self.results.items():
+            rows = {method: {"pr_auc": result.pr_auc, "f1": result.report.best_f1,
+                             "fit_seconds": result.fit_seconds}
+                    for method, result in mode_results.items()}
+            blocks.append(format_results_table(
+                rows, metric_order=["pr_auc", "f1", "fit_seconds"],
+                title=f"[Figure 6] {self.dataset} / {self.entity_type} / {mode}"))
+        return "\n\n".join(blocks)
+
+
+def run_figure6(dataset: str = "music3k", entity_type: str = "artist",
+                modes: Sequence[str] = MODES, methods: Optional[Sequence[str]] = None,
+                scale: Optional[ExperimentScale] = None, seed: int = 0) -> Figure6Result:
+    """Run the Figure 6 comparison for one dataset / entity type.
+
+    Parameters
+    ----------
+    dataset:
+        ``"music3k"``, ``"music1m"`` or ``"monitor"``.
+    entity_type:
+        ``"artist"``, ``"album"`` or ``"track"`` (ignored for Monitor).
+    modes:
+        Which of ``("overlapping", "disjoint")`` to evaluate.
+    methods:
+        Optional subset of method names (default: all baselines + variants).
+    """
+    scale = scale or ExperimentScale()
+    result = Figure6Result(dataset=dataset, entity_type=entity_type)
+    for mode in modes:
+        scenario = build_scenario(dataset, entity_type=entity_type, mode=mode,
+                                  scale=scale, seed=seed)
+        factories = model_factories(scale=scale, methods=methods)
+        result.results[mode] = compare_models(factories, scenario)
+    return result

@@ -1,0 +1,24 @@
+"""Feature pipeline: contrastive relational features and pair encoding."""
+
+from .encoder import EncodedBatch, EncodedPair, PairEncoder
+from .importance import FeatureImportance, ImportanceReport, aggregate_importance, top_attributes
+from .relational import (
+    RelationalFeature,
+    RelationalFeatureExtractor,
+    extract_relational_features,
+    feature_names,
+)
+
+__all__ = [
+    "RelationalFeature",
+    "RelationalFeatureExtractor",
+    "extract_relational_features",
+    "feature_names",
+    "PairEncoder",
+    "EncodedPair",
+    "EncodedBatch",
+    "FeatureImportance",
+    "ImportanceReport",
+    "aggregate_importance",
+    "top_attributes",
+]

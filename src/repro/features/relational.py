@@ -1,0 +1,117 @@
+"""Contrastive relational features (Equation 2 of the paper).
+
+Each attribute ``A`` of an entity pair ``(r, r')`` is parsed into two features:
+
+* ``sim(A)`` — the word tokens shared by both records' values of ``A``;
+* ``uni(A)`` — the tokens appearing in exactly one of the two values.
+
+The similarity and uniqueness of an attribute give independent, complementary
+evidence for linkage (the "original" vs "remix" example in Section 4.2), so
+a pair with ``|A|`` attributes yields ``F = 2|A|`` relational features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..data.records import EntityPair
+from ..data.schema import Schema
+from ..text.tokenizer import Tokenizer
+
+__all__ = ["RelationalFeature", "feature_names", "extract_relational_features", "RelationalFeatureExtractor"]
+
+SHARED_SUFFIX = "shared"
+UNIQUE_SUFFIX = "unique"
+
+
+@dataclass(frozen=True)
+class RelationalFeature:
+    """One contrastive relational feature: an attribute and its token list."""
+
+    attribute: str
+    kind: str  # "shared" or "unique"
+    tokens: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        """Feature name as reported in the paper's Table 4, e.g. ``Page_title_shared``."""
+        return f"{self.attribute}_{self.kind}"
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.tokens) == 0
+
+
+def feature_names(schema: Schema, feature_kinds: Sequence[str] = (SHARED_SUFFIX, UNIQUE_SUFFIX)
+                  ) -> List[str]:
+    """Ordered feature names for a schema: ``[A1_shared, A1_unique, A2_shared, ...]``."""
+    names: List[str] = []
+    for attribute in schema:
+        for kind in feature_kinds:
+            names.append(f"{attribute}_{kind}")
+    return names
+
+
+def extract_relational_features(pair: EntityPair, schema: Schema, tokenizer: Tokenizer,
+                                feature_kinds: Sequence[str] = (SHARED_SUFFIX, UNIQUE_SUFFIX)
+                                ) -> List[RelationalFeature]:
+    """Extract the contrastive features of every schema attribute for a pair.
+
+    Token multiplicity is ignored (set semantics), matching Eq. (2).  The
+    order of tokens within a feature follows their first appearance in the
+    left then right value so that extraction is deterministic.
+    """
+    features: List[RelationalFeature] = []
+    for attribute in schema:
+        left_tokens = tokenizer(pair.left.value(attribute))
+        right_tokens = tokenizer(pair.right.value(attribute))
+        left_set = set(left_tokens)
+        right_set = set(right_tokens)
+        shared_set = left_set & right_set
+        ordered = left_tokens + [tok for tok in right_tokens if tok not in left_set]
+        shared = tuple(tok for tok in ordered if tok in shared_set)
+        unique = tuple(tok for tok in ordered if tok not in shared_set)
+        for kind in feature_kinds:
+            if kind == SHARED_SUFFIX:
+                features.append(RelationalFeature(attribute, SHARED_SUFFIX, shared))
+            elif kind == UNIQUE_SUFFIX:
+                features.append(RelationalFeature(attribute, UNIQUE_SUFFIX, unique))
+            else:
+                raise ValueError(f"unknown feature kind {kind!r}")
+    return features
+
+
+class RelationalFeatureExtractor:
+    """Configured extractor: schema + tokenizer + which contrastive kinds to keep.
+
+    The ablation study (Table 6) compares using only ``shared``, only
+    ``unique``, or both kinds of features; ``feature_kinds`` selects the mode.
+    """
+
+    def __init__(self, schema: Schema, tokenizer: Tokenizer = None,
+                 feature_kinds: Sequence[str] = (SHARED_SUFFIX, UNIQUE_SUFFIX)) -> None:
+        if not feature_kinds:
+            raise ValueError("feature_kinds must not be empty")
+        invalid = [kind for kind in feature_kinds if kind not in (SHARED_SUFFIX, UNIQUE_SUFFIX)]
+        if invalid:
+            raise ValueError(f"invalid feature kinds: {invalid}")
+        self.schema = schema
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self.feature_kinds = tuple(feature_kinds)
+
+    @property
+    def num_features(self) -> int:
+        """``F`` — the number of relational features per pair."""
+        return len(self.schema) * len(self.feature_kinds)
+
+    @property
+    def names(self) -> List[str]:
+        return feature_names(self.schema, self.feature_kinds)
+
+    def __call__(self, pair: EntityPair) -> List[RelationalFeature]:
+        return extract_relational_features(pair, self.schema, self.tokenizer, self.feature_kinds)
+
+    def tokens_by_feature(self, pair: EntityPair) -> Dict[str, Tuple[str, ...]]:
+        """Mapping of feature name to its token tuple (diagnostics/tests)."""
+        return {feature.name: feature.tokens for feature in self(pair)}

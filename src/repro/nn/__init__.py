@@ -1,0 +1,59 @@
+"""Numpy-based neural-network substrate (autograd, layers, optimisers).
+
+This package replaces PyTorch for the AdaMEL reproduction: it provides the
+minimal tensor/autograd engine, layers, attention mechanisms, recurrent cells,
+losses and optimisers that the AdaMEL model and its deep baselines require.
+"""
+
+from . import functional
+from .attention import AdditiveAttention, ScaledDotProductAttention, SelfAttentionEncoder
+from .gradcheck import check_gradient, numerical_gradient
+from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sequential, Sigmoid, Tanh
+from .losses import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    kl_divergence,
+    mse_loss,
+)
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .recurrent import GRU, GRUCell, RNNCell
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Embedding",
+    "AdditiveAttention",
+    "ScaledDotProductAttention",
+    "SelfAttentionEncoder",
+    "RNNCell",
+    "GRUCell",
+    "GRU",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "kl_divergence",
+    "mse_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "check_gradient",
+    "numerical_gradient",
+]

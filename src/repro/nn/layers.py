@@ -1,0 +1,165 @@
+"""Standard layers: Linear, MLP, Embedding, Dropout, Sequential."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["Linear", "Sequential", "ReLU", "Tanh", "Sigmoid", "Dropout", "MLP", "Embedding"]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Size of the input's last dimension.
+    out_features:
+        Size of the output's last dimension.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Generator used for weight initialisation; a default generator is
+        created when omitted (discouraged in library code, handy in tests).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class ReLU(Module):
+    """ReLU activation as a module (for use in :class:`Sequential`)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Tanh(Module):
+    """Tanh activation as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    """Sigmoid activation as a module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Dropout(Module):
+    """Inverted dropout layer, active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer_{index}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+
+_ACTIVATIONS: dict = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    The AdaMEL classifier Θ (Eq. 7) is a 2-layer feed-forward network; this
+    class also serves the deep baselines' classification heads.
+    """
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], out_features: int,
+                 activation: str = "relu", dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}; expected one of {sorted(_ACTIVATIONS)}")
+        rng = rng if rng is not None else np.random.default_rng()
+        layers: List[Module] = []
+        previous = in_features
+        for hidden in hidden_sizes:
+            layers.append(Linear(previous, hidden, rng=rng))
+            layers.append(_ACTIVATIONS[activation]())
+            if dropout > 0.0:
+                layers.append(Dropout(dropout, rng=rng))
+            previous = hidden
+        layers.append(Linear(previous, out_features, rng=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.network(x)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used by the trainable-embedding baselines (Ditto's transformer-lite).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=0.1),
+                                name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[indices]

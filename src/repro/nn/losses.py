@@ -1,0 +1,88 @@
+"""Loss functions used by AdaMEL and the deep baselines.
+
+The AdaMEL paper defines:
+
+* ``L_base`` — binary cross-entropy over labeled source-domain pairs (Eq. 8);
+* ``L_target`` — KL divergence between per-pair source attention distributions
+  and the averaged target-domain attention distribution (Eq. 10);
+* ``L_support`` — centroid-distance-weighted cross-entropy over the labeled
+  support set (Eq. 12).
+
+``L_support`` lives in :mod:`repro.core.losses` because it needs the model's
+attention head; the generic losses live here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "kl_divergence",
+    "mse_loss",
+]
+
+_EPS = 1e-9
+
+
+def binary_cross_entropy(predictions: Tensor, targets: Tensor,
+                         weights: Optional[Tensor] = None) -> Tensor:
+    """Mean binary cross-entropy between probabilities and 0/1 targets.
+
+    This is the paper's ``L_base`` (Eq. 8).  ``weights`` allows per-sample
+    re-weighting, which the support-set loss (Eq. 12) builds on.
+    """
+    predictions = as_tensor(predictions)
+    targets = as_tensor(targets)
+    clipped = predictions.clip(_EPS, 1.0 - _EPS)
+    per_sample = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    if weights is not None:
+        per_sample = per_sample * as_tensor(weights)
+    return per_sample.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor,
+                                     weights: Optional[Tensor] = None) -> Tensor:
+    """Binary cross-entropy applied to raw logits (numerically safer)."""
+    return binary_cross_entropy(as_tensor(logits).sigmoid(), targets, weights)
+
+
+def cross_entropy(logits: Tensor, target_indices: np.ndarray) -> Tensor:
+    """Mean multi-class cross-entropy from logits and integer class labels."""
+    logits = as_tensor(logits)
+    targets = np.asarray(target_indices, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits (batch, classes)")
+    shifted = logits - Tensor(logits.data.max(axis=1, keepdims=True))
+    log_probs = shifted - shifted.exp().sum(axis=1, keepdims=True).log()
+    rows = np.arange(len(targets))
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def kl_divergence(p: Tensor, q: Tensor, axis: int = -1) -> Tensor:
+    """KL(p || q) summed over ``axis`` then averaged over remaining dims.
+
+    In the paper's ``L_target`` (Eq. 10), ``p`` is the attention distribution
+    averaged over the target domain and ``q`` is a source-domain pair's
+    attention distribution; the divergence is summed over the ``F`` features
+    and averaged over the batch.
+    """
+    p = as_tensor(p)
+    q = as_tensor(q)
+    p_safe = p.clip(_EPS, 1.0)
+    q_safe = q.clip(_EPS, 1.0)
+    divergence = (p_safe * (p_safe.log() - q_safe.log())).sum(axis=axis)
+    return divergence.mean() if divergence.ndim > 0 else divergence
+
+
+def mse_loss(predictions: Tensor, targets: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = as_tensor(predictions) - as_tensor(targets)
+    return (diff * diff).mean()

@@ -1,0 +1,548 @@
+"""Reverse-mode automatic differentiation on top of numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper's
+reference implementation uses PyTorch; this reproduction provides a compact
+pure-numpy equivalent so the whole repository runs offline on CPU.  The public
+surface intentionally mirrors the small subset of the PyTorch tensor API that
+the AdaMEL model and its baselines need: elementwise arithmetic with
+broadcasting, matrix multiplication, reductions, common nonlinearities,
+shape manipulation, and a ``backward()`` that accumulates gradients into
+leaf tensors.
+
+Gradient correctness is validated by finite-difference checks in
+``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+
+class _GradMode:
+    """Process-wide switch used by ``no_grad`` to disable graph building."""
+
+    enabled = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Used during inference so that forward passes do not build autograd graphs.
+
+    Example
+    -------
+    >>> with no_grad():
+    ...     y = model(x)
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _GradMode.enabled = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd graph construction is currently enabled."""
+    return _GradMode.enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, reversing numpy broadcasting.
+
+    When an operand of shape ``shape`` was broadcast to the shape of ``grad``
+    during the forward pass, the gradient flowing back must be summed over the
+    broadcast dimensions so that it matches the operand's original shape.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were size 1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array node in a dynamically built autograd graph.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Always stored as ``float64`` unless an integer
+        dtype is explicitly provided (integer tensors never require grad).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    # Ensure expressions like ``ndarray @ tensor`` dispatch to the Tensor's
+    # reflected operators instead of numpy's elementwise broadcasting.
+    __array_priority__ = 1000
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an output tensor, wiring the backward closure when needed."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate an incoming gradient into this tensor."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other_t._accumulate(grad)
+
+        return self._make_child(data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make_child(data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other_t.data)
+            other_t._accumulate(grad * self.data)
+
+        return self._make_child(data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other_t.data)
+            other_t._accumulate(-grad * self.data / (other_t.data ** 2))
+
+        return self._make_child(data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make_child(data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other_t.data
+            grad = np.asarray(grad, dtype=np.float64)
+            if a.ndim == 1 and b.ndim == 1:
+                # dot product: out is scalar
+                self._accumulate(grad * b)
+                other_t._accumulate(grad * a)
+            elif a.ndim == 1 and b.ndim >= 2:
+                # (k,) @ (..., k, n) -> (..., n)
+                grad_a = (np.expand_dims(grad, -2) @ np.swapaxes(b, -1, -2)).reshape(b.shape[:-2] + (a.shape[0],))
+                self._accumulate(_unbroadcast(grad_a, a.shape))
+                grad_b = np.expand_dims(a, -1) @ np.expand_dims(grad, -2)
+                other_t._accumulate(_unbroadcast(grad_b, b.shape))
+            elif b.ndim == 1 and a.ndim >= 2:
+                # (..., m, k) @ (k,) -> (..., m)
+                grad_a = np.expand_dims(grad, -1) @ np.expand_dims(b, 0)
+                self._accumulate(_unbroadcast(grad_a, a.shape))
+                grad_b = (np.swapaxes(a, -1, -2) @ np.expand_dims(grad, -1)).reshape(a.shape[:-2] + (b.shape[0],))
+                other_t._accumulate(_unbroadcast(grad_b.reshape(-1, b.shape[0]).sum(axis=0)
+                                                 if grad_b.ndim > 1 else grad_b, b.shape))
+            else:
+                grad_a = grad @ np.swapaxes(b, -1, -2)
+                grad_b = np.swapaxes(a, -1, -2) @ grad
+                self._accumulate(_unbroadcast(grad_a, a.shape))
+                other_t._accumulate(_unbroadcast(grad_b, b.shape))
+
+        return self._make_child(data, (self, other_t), backward)
+
+    def __rmatmul__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) @ self
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_full = np.asarray(grad, dtype=np.float64)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    grad_full = np.expand_dims(grad_full, ax)
+            self._accumulate(np.broadcast_to(grad_full, self.data.shape))
+
+        return self._make_child(data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_full = np.asarray(grad, dtype=np.float64)
+            expanded = self.data.max(axis=axis, keepdims=True) if axis is not None else self.data.max()
+            mask = (self.data == expanded).astype(np.float64)
+            mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
+            if axis is not None and not keepdims:
+                grad_full = np.expand_dims(grad_full, axis)
+            self._accumulate(mask * grad_full)
+
+        return self._make_child(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data)
+
+        return self._make_child(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make_child(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - data ** 2))
+
+        return self._make_child(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * data * (1.0 - data))
+
+        return self._make_child(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make_child(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make_child(data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make_child(data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return self._make_child(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_t = tuple(axes) if axes else tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes_t)
+        inverse = np.argsort(axes_t)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).transpose(inverse))
+
+        return self._make_child(data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        data = self.data.squeeze(axis=axis) if axis is not None else self.data.squeeze()
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return self._make_child(data, (self,), backward)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        data = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return self._make_child(data, (self,), backward)
+
+    def __getitem__(self, index: object) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make_child(np.asarray(data, dtype=np.float64), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backpropagation
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the graph reachable from this node.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (detached; return plain numpy bool arrays)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > as_tensor(other).data
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < as_tensor(other).data
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= as_tensor(other).data
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= as_tensor(other).data
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` into a :class:`Tensor` (no-op for existing tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensor_list = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensor_list], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensor_list]
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        offset = 0
+        for tensor, size in zip(tensor_list, sizes):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(offset, offset + size)
+            tensor._accumulate(grad[tuple(slicer)])
+            offset += size
+
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensor_list)
+    out = Tensor(data, requires_grad=requires)
+    if requires:
+        out._parents = tuple(tensor_list)
+        out._backward = backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensor_list = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensor_list], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for i, tensor in enumerate(tensor_list):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = i
+            tensor._accumulate(grad[tuple(slicer)])
+
+    requires = is_grad_enabled() and any(t.requires_grad for t in tensor_list)
+    out = Tensor(data, requires_grad=requires)
+    if requires:
+        out._parents = tuple(tensor_list)
+        out._backward = backward
+    return out

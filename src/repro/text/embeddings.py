@@ -1,0 +1,116 @@
+"""Token embedders.
+
+``HashedEmbedder`` is the offline substitute for pretrained FastText vectors
+(see DESIGN.md): each token's vector is the average of its hashed character
+n-gram vectors plus a whole-word hashed vector.  The embeddings are *fixed*
+(never trained), matching how AdaMEL and the baselines use FastText.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .hashing import HashedVectorTable, char_ngrams
+from .tokenizer import Tokenizer
+
+__all__ = ["TokenEmbedder", "HashedEmbedder", "missing_value_vector"]
+
+DEFAULT_EMBEDDING_DIM = 64
+
+
+def missing_value_vector(dim: int, scale: float = 1.0) -> np.ndarray:
+    """The fixed normalised non-zero vector used for missing attribute values.
+
+    The paper initialises missing attribute values (challenges C1/C2) with "a
+    fixed normalized non-zero vector" so that gradients still flow through the
+    corresponding feature; this returns that vector.
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    vector = np.ones(dim, dtype=np.float64)
+    return scale * vector / np.linalg.norm(vector)
+
+
+class TokenEmbedder:
+    """Interface: map token sequences to a fixed-dimensional summary vector."""
+
+    dim: int
+
+    def embed_token(self, token: str) -> np.ndarray:
+        raise NotImplementedError
+
+    def embed_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Sum the embeddings of ``tokens`` (paper Eq. 3 summarisation).
+
+        Empty token lists map to the fixed missing-value vector.
+        """
+        if not tokens:
+            return missing_value_vector(self.dim)
+        total = np.zeros(self.dim, dtype=np.float64)
+        for token in tokens:
+            total += self.embed_token(token)
+        return total
+
+    def embed_token_matrix(self, tokens: Sequence[str], length: int) -> np.ndarray:
+        """Return a padded ``(length, dim)`` matrix of per-token embeddings."""
+        matrix = np.zeros((length, self.dim), dtype=np.float64)
+        for i, token in enumerate(tokens[:length]):
+            matrix[i] = self.embed_token(token)
+        return matrix
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Tokenise then embed a raw attribute value."""
+        raise NotImplementedError
+
+
+class HashedEmbedder(TokenEmbedder):
+    """FastText-style fixed embeddings via hashed character n-grams.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (the paper uses 300; smaller defaults keep
+        CPU experiments fast without changing behaviour).
+    min_n, max_n:
+        Character n-gram range (FastText defaults: 3..6; we default to 3..5).
+    tokenizer:
+        Tokeniser used by :meth:`embed_text`; defaults to the paper's
+        configuration (crop to 20 tokens).
+    """
+
+    def __init__(self, dim: int = DEFAULT_EMBEDDING_DIM, min_n: int = 3, max_n: int = 5,
+                 seed: int = 13, tokenizer: Optional[Tokenizer] = None,
+                 cache_size: int = 100_000) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.min_n = min_n
+        self.max_n = max_n
+        self.table = HashedVectorTable(dim=dim, seed=seed)
+        self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
+        self._cache: Dict[str, np.ndarray] = {}
+        self._cache_size = cache_size
+
+    def embed_token(self, token: str) -> np.ndarray:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        pieces: List[np.ndarray] = [self.table.vector(f"word::{token}")]
+        for gram in char_ngrams(token, self.min_n, self.max_n):
+            pieces.append(self.table.vector(f"ngram::{gram}"))
+        vector = np.mean(pieces, axis=0)
+        if len(self._cache) < self._cache_size:
+            self._cache[token] = vector
+        return vector
+
+    def embed_text(self, text: str) -> np.ndarray:
+        return self.embed_tokens(self.tokenizer(text))
+
+    def similarity(self, token_a: str, token_b: str) -> float:
+        """Cosine similarity between two token embeddings (diagnostics)."""
+        a = self.embed_token(token_a)
+        b = self.embed_token(token_b)
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        return float(a @ b / denom) if denom > 0 else 0.0

@@ -1,0 +1,201 @@
+"""Classical string-similarity measures.
+
+TLER (Thirumuruganathan et al., 2018), the non-deep transfer-learning baseline
+reproduced in :mod:`repro.baselines.tler`, represents an entity pair with a
+standard feature space of string similarities between corresponding attribute
+values.  This module provides those measures; they are also reused by the
+blocking stage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .tokenizer import tokenize
+
+__all__ = [
+    "jaccard_similarity",
+    "overlap_coefficient",
+    "dice_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "monge_elkan_similarity",
+    "token_cosine_similarity",
+    "exact_match",
+    "length_difference",
+    "SIMILARITY_FUNCTIONS",
+    "similarity_vector",
+]
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard similarity between the token sets of ``a`` and ``b``."""
+    set_a, set_b = set(tokenize(a)), set(tokenize(b))
+    if not set_a and not set_b:
+        return 0.0
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union) if union else 0.0
+
+
+def overlap_coefficient(a: str, b: str) -> float:
+    """Szymkiewicz–Simpson overlap coefficient on token sets."""
+    set_a, set_b = set(tokenize(a)), set(tokenize(b))
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def dice_similarity(a: str, b: str) -> float:
+    """Sørensen–Dice coefficient on token sets."""
+    set_a, set_b = set(tokenize(a)), set(tokenize(b))
+    if not set_a and not set_b:
+        return 0.0
+    denom = len(set_a) + len(set_b)
+    return 2.0 * len(set_a & set_b) / denom if denom else 0.0
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance between the raw strings (dynamic programming, O(len a * len b))."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to a similarity in [0, 1]."""
+    if not a and not b:
+        return 0.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest if longest else 0.0
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity between two strings."""
+    if not a and not b:
+        return 0.0
+    if not a or not b:
+        return 0.0
+    if a == b:
+        return 1.0
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+    a_matches = [False] * len(a)
+    b_matches = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(b))
+        for j in range(start, end):
+            if b_matches[j] or b[j] != char_a:
+                continue
+            a_matches[i] = True
+            b_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matches):
+        if not matched:
+            continue
+        while not b_matches[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (matches / len(a) + matches / len(b) + (matches - transpositions) / matches) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler similarity boosting shared prefixes (up to 4 chars)."""
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def monge_elkan_similarity(a: str, b: str) -> float:
+    """Monge–Elkan: mean over tokens of ``a`` of the best Jaro-Winkler match in ``b``."""
+    tokens_a, tokens_b = tokenize(a), tokenize(b)
+    if not tokens_a or not tokens_b:
+        return 0.0
+    best_scores = [max(jaro_winkler_similarity(tok_a, tok_b) for tok_b in tokens_b)
+                   for tok_a in tokens_a]
+    return float(np.mean(best_scores))
+
+
+def token_cosine_similarity(a: str, b: str) -> float:
+    """Cosine similarity of token-frequency vectors."""
+    tokens_a, tokens_b = tokenize(a), tokenize(b)
+    if not tokens_a or not tokens_b:
+        return 0.0
+    vocab = sorted(set(tokens_a) | set(tokens_b))
+    index = {token: i for i, token in enumerate(vocab)}
+    vec_a = np.zeros(len(vocab))
+    vec_b = np.zeros(len(vocab))
+    for token in tokens_a:
+        vec_a[index[token]] += 1
+    for token in tokens_b:
+        vec_b[index[token]] += 1
+    denom = np.linalg.norm(vec_a) * np.linalg.norm(vec_b)
+    return float(vec_a @ vec_b / denom) if denom else 0.0
+
+
+def exact_match(a: str, b: str) -> float:
+    """1.0 when the normalised strings are identical and non-empty."""
+    norm_a = " ".join(tokenize(a))
+    norm_b = " ".join(tokenize(b))
+    return 1.0 if norm_a and norm_a == norm_b else 0.0
+
+
+def length_difference(a: str, b: str) -> float:
+    """Relative absolute difference in token counts (0 identical, →1 different)."""
+    len_a, len_b = len(tokenize(a)), len(tokenize(b))
+    if len_a == 0 and len_b == 0:
+        return 0.0
+    return abs(len_a - len_b) / max(len_a, len_b)
+
+
+SIMILARITY_FUNCTIONS: Dict[str, Callable[[str, str], float]] = {
+    "jaccard": jaccard_similarity,
+    "overlap": overlap_coefficient,
+    "dice": dice_similarity,
+    "levenshtein": levenshtein_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+    "monge_elkan": monge_elkan_similarity,
+    "cosine": token_cosine_similarity,
+    "exact": exact_match,
+    "length_diff": length_difference,
+}
+
+
+def similarity_vector(a: str, b: str, measures: Sequence[str] = None) -> np.ndarray:
+    """Stack the selected similarity measures into a feature vector.
+
+    This is TLER's per-attribute "standard feature space".
+    """
+    names: List[str] = list(measures) if measures else list(SIMILARITY_FUNCTIONS)
+    unknown = [name for name in names if name not in SIMILARITY_FUNCTIONS]
+    if unknown:
+        raise KeyError(f"unknown similarity measures: {unknown}")
+    return np.array([SIMILARITY_FUNCTIONS[name](a, b) for name in names], dtype=np.float64)

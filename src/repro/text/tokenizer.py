@@ -1,0 +1,70 @@
+"""Tokenisation and normalisation of attribute values.
+
+AdaMEL operates on the word tokens of textual attribute values (``r[A]``).
+The paper crops each attribute to at most 20 tokens and sums their
+embeddings; the same cropping default is used here.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List, Sequence
+
+__all__ = ["tokenize", "normalize_text", "crop_tokens", "Tokenizer"]
+
+# Words may contain internal dots (e.g. "ebay.com") and keep a trailing dot so
+# that abbreviations such as "n." remain single tokens close to their full form.
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:\.[a-z0-9]+)*\.?|[^\sa-z0-9]", re.IGNORECASE)
+DEFAULT_CROP_SIZE = 20
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase, strip accents and collapse whitespace."""
+    if not isinstance(text, str):
+        text = "" if text is None else str(text)
+    decomposed = unicodedata.normalize("NFKD", text)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return re.sub(r"\s+", " ", stripped.strip().lower())
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a value into lowercase word tokens; empty values yield ``[]``."""
+    normalized = normalize_text(text)
+    if not normalized:
+        return []
+    return [match.group(0) for match in _TOKEN_PATTERN.finditer(normalized)]
+
+
+def crop_tokens(tokens: Sequence[str], crop_size: int = DEFAULT_CROP_SIZE) -> List[str]:
+    """Keep at most ``crop_size`` tokens, as in the paper's configuration."""
+    if crop_size <= 0:
+        raise ValueError(f"crop_size must be positive, got {crop_size}")
+    return list(tokens[:crop_size])
+
+
+class Tokenizer:
+    """Configurable tokeniser combining normalisation and cropping.
+
+    Parameters
+    ----------
+    crop_size:
+        Maximum number of tokens retained per attribute value (paper: 20).
+    keep_punctuation:
+        When False, punctuation-only tokens are dropped.
+    """
+
+    def __init__(self, crop_size: int = DEFAULT_CROP_SIZE, keep_punctuation: bool = False) -> None:
+        if crop_size <= 0:
+            raise ValueError(f"crop_size must be positive, got {crop_size}")
+        self.crop_size = crop_size
+        self.keep_punctuation = keep_punctuation
+
+    def __call__(self, text: str) -> List[str]:
+        tokens = tokenize(text)
+        if not self.keep_punctuation:
+            tokens = [tok for tok in tokens if any(ch.isalnum() for ch in tok)]
+        return crop_tokens(tokens, self.crop_size)
+
+    def __repr__(self) -> str:
+        return f"Tokenizer(crop_size={self.crop_size}, keep_punctuation={self.keep_punctuation})"

@@ -1,0 +1,80 @@
+"""Vocabulary management for trainable-embedding baselines (Ditto)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["Vocabulary"]
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Token-to-id mapping with padding and unknown-token handling."""
+
+    def __init__(self, min_frequency: int = 1, max_size: int = 50_000) -> None:
+        if min_frequency < 1:
+            raise ValueError("min_frequency must be >= 1")
+        self.min_frequency = min_frequency
+        self.max_size = max_size
+        self._token_to_id: Dict[str, int] = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+        self._id_to_token: List[str] = [PAD_TOKEN, UNK_TOKEN]
+        self._counts: Counter = Counter()
+        self._finalized = False
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def update(self, tokens: Iterable[str]) -> None:
+        """Accumulate token counts before :meth:`finalize`."""
+        if self._finalized:
+            raise RuntimeError("cannot update a finalized vocabulary")
+        self._counts.update(tokens)
+
+    def finalize(self) -> "Vocabulary":
+        """Freeze the vocabulary, keeping the most frequent tokens."""
+        if self._finalized:
+            return self
+        eligible = [(count, token) for token, count in self._counts.items()
+                    if count >= self.min_frequency]
+        eligible.sort(key=lambda item: (-item[0], item[1]))
+        for _, token in eligible[: self.max_size - 2]:
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._id_to_token)
+                self._id_to_token.append(token)
+        self._finalized = True
+        return self
+
+    def encode(self, tokens: Sequence[str], length: int) -> List[int]:
+        """Map tokens to ids, padding/truncating to exactly ``length``."""
+        if not self._finalized:
+            raise RuntimeError("vocabulary must be finalized before encoding")
+        ids = [self._token_to_id.get(token, self.unk_id) for token in tokens[:length]]
+        ids.extend([self.pad_id] * (length - len(ids)))
+        return ids
+
+    def token(self, token_id: int) -> str:
+        """Return the token string for an id."""
+        return self._id_to_token[token_id]
+
+    @classmethod
+    def build(cls, corpus: Iterable[Sequence[str]], min_frequency: int = 1,
+              max_size: int = 50_000) -> "Vocabulary":
+        """Build and finalize a vocabulary from an iterable of token lists."""
+        vocab = cls(min_frequency=min_frequency, max_size=max_size)
+        for tokens in corpus:
+            vocab.update(tokens)
+        return vocab.finalize()

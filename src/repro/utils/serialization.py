@@ -1,0 +1,55 @@
+"""JSON / npz persistence helpers for experiment results and model weights."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = ["save_json", "load_json", "save_npz", "load_npz"]
+
+PathLike = Union[str, Path]
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(data: Any, path: PathLike, indent: int = 2) -> Path:
+    """Serialise ``data`` to ``path`` as JSON (numpy types handled)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=indent, cls=_NumpyEncoder, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load JSON previously written with :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_npz(arrays: Dict[str, np.ndarray], path: PathLike) -> Path:
+    """Save a dict of arrays (e.g. a model ``state_dict``) to a ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load arrays previously written with :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return {key: data[key] for key in data.files}

@@ -1,0 +1,58 @@
+"""Lightweight wall-clock timing used by the runtime experiments (Fig. 9)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch that records named durations.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("train"):
+    ...     do_training()
+    >>> timer.total("train")  # seconds
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[float]] = {}
+        self._active: Dict[str, float] = {}
+
+    class _Span:
+        def __init__(self, timer: "Timer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+
+        def __enter__(self) -> "Timer._Span":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._timer._records.setdefault(self._name, []).append(elapsed)
+
+    def measure(self, name: str) -> "Timer._Span":
+        """Return a context manager that records a span under ``name``."""
+        return Timer._Span(self, name)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 when absent)."""
+        return float(sum(self._records.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        """Mean span length for ``name`` (0.0 when absent)."""
+        spans = self._records.get(name, [])
+        return float(sum(spans) / len(spans)) if spans else 0.0
+
+    def count(self, name: str) -> int:
+        """Number of spans recorded under ``name``."""
+        return len(self._records.get(name, []))
+
+    def summary(self) -> Dict[str, float]:
+        """Return ``{name: total_seconds}`` for every recorded name."""
+        return {name: self.total(name) for name in self._records}

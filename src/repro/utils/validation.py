@@ -1,0 +1,32 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Sized
+
+__all__ = ["require_positive", "require_fraction", "require_non_empty"]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_fraction(value: float, name: str, inclusive: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1] (or (0, 1))."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def require_non_empty(collection: Sized, name: str) -> Sized:
+    """Raise ``ValueError`` when ``collection`` is empty."""
+    if len(collection) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return collection

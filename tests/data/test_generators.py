@@ -1,0 +1,199 @@
+"""Tests for the synthetic corpus generators (Music, Monitor, benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    BENCHMARK_PROFILES,
+    MONITOR_SCHEMA,
+    MONITOR_SEEN_SOURCES,
+    MUSIC_SCHEMA,
+    MUSIC_SEEN_SOURCES,
+    MonitorCorpusGenerator,
+    MonitorGeneratorConfig,
+    MusicCorpusGenerator,
+    MusicGeneratorConfig,
+    SourceStyle,
+    apply_style,
+    load_benchmark,
+)
+from repro.data.generators.monitor import TARGET_ONLY_ATTRIBUTES
+from repro.data.generators.names import abbreviate_name
+from repro.data.generators.corruptions import drop_tokens, shuffle_tokens, typo
+
+
+class TestCorruptions:
+    def test_abbreviate_name(self):
+        assert abbreviate_name("Neil Diamond") == "N. D."
+        assert abbreviate_name("") == ""
+
+    def test_apply_style_missing_attribute_unsupported(self):
+        style = SourceStyle(source="s", supported_attributes=frozenset({"title"}))
+        rng = np.random.default_rng(0)
+        assert apply_style(style, "artist", "Neil Diamond", rng) == ""
+
+    def test_apply_style_missing_rate_one(self):
+        style = SourceStyle(source="s", missing_rates={"title": 1.0})
+        rng = np.random.default_rng(0)
+        assert apply_style(style, "title", "Hello", rng) == ""
+
+    def test_apply_style_abbreviates(self):
+        style = SourceStyle(source="s", abbreviate_attributes=frozenset({"artist"}),
+                            abbreviate_probability=1.0, default_missing_rate=0.0)
+        rng = np.random.default_rng(0)
+        assert apply_style(style, "artist", "Neil Diamond", rng) == "N. D."
+
+    def test_apply_style_casing_and_affixes(self):
+        style = SourceStyle(source="s", uppercase=True, default_missing_rate=0.0,
+                            prefix_tokens={"title": "buy"}, suffix_tokens={"title": "now"})
+        rng = np.random.default_rng(0)
+        assert apply_style(style, "title", "hello", rng) == "BUY HELLO NOW"
+
+    def test_apply_style_vocabulary_override(self):
+        style = SourceStyle(source="s", default_missing_rate=0.0,
+                            vocabulary_overrides={"prod_type": {"led monitor": "gaming monitor"}})
+        rng = np.random.default_rng(0)
+        assert apply_style(style, "prod_type", "led monitor", rng) == "gaming monitor"
+
+    def test_typo_drop_shuffle_keep_content(self):
+        rng = np.random.default_rng(0)
+        assert typo("ab", rng, rate=1.0) == "ab"  # too short to mutate
+        assert drop_tokens("single", rng, rate=1.0) == "single"
+        assert set(shuffle_tokens("a b c", rng, probability=1.0).split()) == {"a", "b", "c"}
+
+
+class TestMusicGenerator:
+    def test_corpus_structure(self, tiny_music_corpus):
+        assert tiny_music_corpus.schema == MUSIC_SCHEMA
+        assert set(tiny_music_corpus.sources) == set(f"website_{i}" for i in range(1, 8))
+        assert len(tiny_music_corpus.records) > 0
+        assert len(tiny_music_corpus.pairs) > 0
+
+    def test_positive_pairs_cross_source_same_entity(self, tiny_music_corpus):
+        for pair in tiny_music_corpus.pairs:
+            if pair.label == 1:
+                assert pair.left.entity_id == pair.right.entity_id
+                assert pair.left.source != pair.right.source
+
+    def test_negative_pairs_different_entities(self, tiny_music_corpus):
+        for pair in tiny_music_corpus.pairs:
+            if pair.label == 0:
+                assert pair.left.entity_id != pair.right.entity_id
+
+    def test_determinism(self):
+        config = MusicGeneratorConfig(num_entities=10)
+        corpus_a = MusicCorpusGenerator("artist", config, seed=3).generate()
+        corpus_b = MusicCorpusGenerator("artist", config, seed=3).generate()
+        assert [r.attributes for r in corpus_a.records] == [r.attributes for r in corpus_b.records]
+        assert [p.label for p in corpus_a.pairs] == [p.label for p in corpus_b.pairs]
+
+    def test_invalid_entity_type(self):
+        with pytest.raises(ValueError):
+            MusicCorpusGenerator("movie")
+
+    def test_entity_types(self, tiny_track_corpus):
+        assert all(record.entity_type == "track" for record in tiny_track_corpus.records)
+        assert any("(" in record.value("title") for record in tiny_track_corpus.records
+                   if record.value("title"))
+
+    def test_unseen_sources_abbreviate_names(self):
+        """Challenge C3: unseen sources abbreviate artist names much more often."""
+        config = MusicGeneratorConfig(num_entities=60)
+        corpus = MusicCorpusGenerator("artist", config, seed=2).generate()
+
+        def abbreviation_rate(sources):
+            values = [record.value("name") for record in corpus.records
+                      if record.source in sources and record.value("name")]
+            return np.mean(["." in value for value in values]) if values else 0.0
+
+        seen_rate = abbreviation_rate(set(MUSIC_SEEN_SOURCES))
+        unseen_rate = abbreviation_rate(set(corpus.sources) - set(MUSIC_SEEN_SOURCES))
+        assert unseen_rate > seen_rate
+
+    def test_gender_rare_in_seen_sources(self, tiny_music_corpus):
+        """Challenge C2: `gender` is rarely populated on the seen websites."""
+        seen_records = [record for record in tiny_music_corpus.records
+                        if record.source in MUSIC_SEEN_SOURCES]
+        rate = np.mean([record.has_value("gender") for record in seen_records])
+        assert rate < 0.5
+
+    def test_weak_labels_flip_some_pairs(self):
+        config_clean = MusicGeneratorConfig(num_entities=40, weakly_labeled=False)
+        config_weak = MusicGeneratorConfig(num_entities=40, weakly_labeled=True,
+                                           label_noise_rate=0.3)
+        clean = MusicCorpusGenerator("artist", config_clean, seed=5).generate()
+        weak = MusicCorpusGenerator("artist", config_weak, seed=5).generate()
+        clean_labels = {pair.pair_id: pair.label for pair in clean.pairs}
+        flipped = sum(1 for pair in weak.pairs
+                      if pair.pair_id in clean_labels and pair.label != clean_labels[pair.pair_id])
+        assert flipped > 0
+
+    def test_build_scenario_modes(self, tiny_music_corpus):
+        overlapping = tiny_music_corpus.build_scenario(MUSIC_SEEN_SOURCES, mode="overlapping",
+                                                       support_size=10, seed=1)
+        disjoint = tiny_music_corpus.build_scenario(MUSIC_SEEN_SOURCES, mode="disjoint",
+                                                    support_size=10, seed=1)
+        seen = set(MUSIC_SEEN_SOURCES)
+        assert all(pair.source_set() <= seen for pair in overlapping.source)
+        assert all(pair.source_set() - seen for pair in overlapping.target)
+        assert all(not (pair.source_set() & seen) for pair in disjoint.target)
+
+    def test_build_scenario_invalid_inputs(self, tiny_music_corpus):
+        with pytest.raises(ValueError):
+            tiny_music_corpus.build_scenario(["nonexistent.com"])
+        with pytest.raises(ValueError):
+            tiny_music_corpus.build_scenario(MUSIC_SEEN_SOURCES, mode="sideways")
+
+
+class TestMonitorGenerator:
+    def test_schema_and_sources(self, tiny_monitor_corpus):
+        assert tiny_monitor_corpus.schema == MONITOR_SCHEMA
+        assert len(tiny_monitor_corpus.sources) == 10
+        assert set(MONITOR_SEEN_SOURCES) <= set(tiny_monitor_corpus.sources)
+
+    def test_imbalance(self, tiny_monitor_corpus):
+        assert tiny_monitor_corpus.positive_rate() < 0.3
+
+    def test_target_only_attributes_missing_in_seen(self, tiny_monitor_corpus):
+        seen = set(MONITOR_SEEN_SOURCES)
+        for record in tiny_monitor_corpus.records:
+            if record.source in seen:
+                for attribute in TARGET_ONLY_ATTRIBUTES:
+                    assert not record.has_value(attribute)
+
+    def test_page_title_mostly_present(self, tiny_monitor_corpus):
+        rate = np.mean([record.has_value("page_title") for record in tiny_monitor_corpus.records])
+        assert rate > 0.9
+
+    def test_prod_type_vocabulary_shift(self, tiny_monitor_corpus):
+        seen = set(MONITOR_SEEN_SOURCES)
+        seen_values = {record.value("prod_type") for record in tiny_monitor_corpus.records
+                       if record.source in seen and record.has_value("prod_type")}
+        target_values = {record.value("prod_type") for record in tiny_monitor_corpus.records
+                         if record.source not in seen and record.has_value("prod_type")}
+        assert seen_values != target_values
+
+    def test_invalid_num_sources(self):
+        with pytest.raises(ValueError):
+            MonitorCorpusGenerator(num_sources=2)
+
+
+class TestBenchmarkGenerator:
+    def test_profiles_cover_structured_and_dirty(self):
+        variants = {profile.variant for profile in BENCHMARK_PROFILES.values()}
+        assert variants == {"structured", "dirty"}
+
+    def test_load_benchmark_two_sources(self):
+        corpus = load_benchmark("beer", seed=1)
+        assert len(corpus.sources) == 2
+        assert len(corpus.pairs) > 0
+
+    def test_dirty_variant_swaps_attribute_values(self):
+        clean = load_benchmark("dblp-acm", seed=4)
+        dirty = load_benchmark("dirty-dblp-acm", seed=4)
+        assert clean.positive_rate() > 0
+        assert dirty.positive_rate() > 0
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_benchmark("nonexistent-dataset")

@@ -1,0 +1,113 @@
+"""Tests for records, entity pairs, schemas and ontology alignment."""
+
+import pytest
+
+from repro.data import EntityPair, Record, Schema, align_ontology, align_pairs, union_schema
+
+
+@pytest.fixture
+def record_a():
+    return Record(record_id="r1", source="site_a",
+                  attributes={"title": "Sweet Caroline", "artist": "Neil Diamond"},
+                  entity_id="e1", entity_type="track")
+
+
+@pytest.fixture
+def record_b():
+    return Record(record_id="r2", source="site_b",
+                  attributes={"title": "Sweet Caroline", "gender": "male"},
+                  entity_id="e1", entity_type="track")
+
+
+class TestRecord:
+    def test_value_and_missing(self, record_a):
+        assert record_a.value("title") == "Sweet Caroline"
+        assert record_a.value("nonexistent") == ""
+        assert record_a.has_value("artist")
+        assert not record_a.has_value("nonexistent")
+
+    def test_missing_attributes(self, record_a):
+        assert record_a.missing_attributes(["title", "gender"]) == ["gender"]
+
+    def test_with_attributes_copy(self, record_a):
+        updated = record_a.with_attributes({"title": "Hello"})
+        assert updated.value("title") == "Hello"
+        assert record_a.value("title") == "Sweet Caroline"
+        assert updated.entity_id == record_a.entity_id
+
+    def test_dict_roundtrip(self, record_a):
+        assert Record.from_dict(record_a.to_dict()) == record_a
+
+
+class TestEntityPair:
+    def test_label_validation(self, record_a, record_b):
+        with pytest.raises(ValueError):
+            EntityPair(left=record_a, right=record_b, label=2)
+
+    def test_pair_id_generated(self, record_a, record_b):
+        pair = EntityPair(left=record_a, right=record_b, label=1)
+        assert pair.pair_id == "r1|r2"
+
+    def test_sources_and_source_set(self, record_a, record_b):
+        pair = EntityPair(left=record_a, right=record_b, label=1)
+        assert pair.sources == ("site_a", "site_b")
+        assert pair.source_set() == frozenset({"site_a", "site_b"})
+
+    def test_both_present(self, record_a, record_b):
+        pair = EntityPair(left=record_a, right=record_b, label=1)
+        assert pair.both_present("title")
+        assert not pair.both_present("artist")
+
+    def test_unlabeled_view(self, record_a, record_b):
+        pair = EntityPair(left=record_a, right=record_b, label=1)
+        assert pair.unlabeled().label is None
+        assert pair.label == 1
+
+    def test_dict_roundtrip(self, record_a, record_b):
+        pair = EntityPair(left=record_a, right=record_b, label=0)
+        assert EntityPair.from_dict(pair.to_dict()) == pair
+
+
+class TestSchema:
+    def test_unique_attributes_enforced(self):
+        with pytest.raises(ValueError):
+            Schema(("a", "a"))
+
+    def test_union_preserves_order(self):
+        merged = Schema(("a", "b")).union(Schema(("b", "c")))
+        assert tuple(merged) == ("a", "b", "c")
+
+    def test_from_records(self, record_a, record_b):
+        schema = Schema.from_records([record_a, record_b])
+        assert set(schema) == {"title", "artist", "gender"}
+
+    def test_union_schema_multiple(self):
+        merged = union_schema(Schema(("a",)), Schema(("b",)), Schema(("a", "c")))
+        assert tuple(merged) == ("a", "b", "c")
+
+    def test_union_schema_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_schema()
+
+    def test_index_and_contains(self):
+        schema = Schema(("x", "y"))
+        assert "x" in schema and schema.index("y") == 1
+
+
+class TestOntologyAlignment:
+    def test_align_pairs_adds_dummy_attributes(self, record_a, record_b):
+        pair = EntityPair(left=record_a, right=record_b, label=1)
+        schema = Schema(("title", "artist", "gender", "country"))
+        aligned = align_pairs([pair], schema)[0]
+        assert set(aligned.left.attribute_names()) == set(schema)
+        assert aligned.left.value("country") == ""
+        assert aligned.right.value("artist") == ""
+        assert aligned.label == 1
+
+    def test_align_ontology_union(self, record_a, record_b):
+        source_pair = EntityPair(left=record_a, right=record_a, label=1)
+        target_pair = EntityPair(left=record_b, right=record_b, label=None)
+        schema, aligned_source, aligned_target = align_ontology([source_pair], [target_pair])
+        assert set(schema) == {"title", "artist", "gender"}
+        assert set(aligned_source[0].left.attribute_names()) == set(schema)
+        assert set(aligned_target[0].left.attribute_names()) == set(schema)

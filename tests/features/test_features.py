@@ -1,0 +1,153 @@
+"""Tests for the feature pipeline: relational features, pair encoding, importance."""
+
+import numpy as np
+import pytest
+
+from repro.data import EntityPair, Record, Schema
+from repro.features import (
+    ImportanceReport,
+    PairEncoder,
+    RelationalFeatureExtractor,
+    aggregate_importance,
+    extract_relational_features,
+    feature_names,
+    top_attributes,
+)
+from repro.features.importance import FeatureImportance
+from repro.text import HashedEmbedder, Tokenizer, missing_value_vector
+
+
+@pytest.fixture
+def schema():
+    return Schema(("title", "artist"))
+
+
+@pytest.fixture
+def pair():
+    left = Record(record_id="l", source="s1",
+                  attributes={"title": "River Deep Mountain High", "artist": "Neil Diamond"})
+    right = Record(record_id="r", source="s2",
+                   attributes={"title": "River Deep", "artist": ""})
+    return EntityPair(left=left, right=right, label=1)
+
+
+class TestRelationalFeatures:
+    def test_feature_names_order(self, schema):
+        assert feature_names(schema) == ["title_shared", "title_unique",
+                                         "artist_shared", "artist_unique"]
+
+    def test_shared_and_unique_tokens(self, schema, pair):
+        extractor = RelationalFeatureExtractor(schema, Tokenizer())
+        by_name = extractor.tokens_by_feature(pair)
+        assert set(by_name["title_shared"]) == {"river", "deep"}
+        assert set(by_name["title_unique"]) == {"mountain", "high"}
+        # artist is missing on the right, so nothing is shared.
+        assert by_name["artist_shared"] == ()
+        assert set(by_name["artist_unique"]) == {"neil", "diamond"}
+
+    def test_paper_example_f_equals_2a(self, schema, pair):
+        """The paper: F = 2|A| contrastive features per pair."""
+        extractor = RelationalFeatureExtractor(schema)
+        assert extractor.num_features == 2 * len(schema)
+        assert len(extractor(pair)) == 2 * len(schema)
+
+    def test_single_kind_extractor(self, schema, pair):
+        extractor = RelationalFeatureExtractor(schema, feature_kinds=("shared",))
+        assert extractor.num_features == len(schema)
+        assert all(feature.kind == "shared" for feature in extractor(pair))
+
+    def test_invalid_kinds(self, schema):
+        with pytest.raises(ValueError):
+            RelationalFeatureExtractor(schema, feature_kinds=("bogus",))
+        with pytest.raises(ValueError):
+            RelationalFeatureExtractor(schema, feature_kinds=())
+
+    def test_identical_values_have_no_unique_tokens(self, schema):
+        record = Record(record_id="a", source="s1", attributes={"title": "Hello", "artist": "Adele"})
+        other = Record(record_id="b", source="s2", attributes={"title": "Hello", "artist": "Adele"})
+        features = extract_relational_features(EntityPair(record, other, 1), schema, Tokenizer())
+        unique = [f for f in features if f.kind == "unique"]
+        assert all(f.is_empty for f in unique)
+
+
+class TestPairEncoder:
+    def test_encoded_shapes(self, schema, pair):
+        encoder = PairEncoder(schema, embedder=HashedEmbedder(dim=16))
+        encoded = encoder.encode([pair, pair])
+        assert encoded.features.shape == (2, 4, 16)
+        assert encoded.labels.tolist() == [1, 1]
+        assert encoded.feature_mask.shape == (2, 4)
+
+    def test_missing_feature_uses_fixed_vector(self, schema, pair):
+        encoder = PairEncoder(schema, embedder=HashedEmbedder(dim=16))
+        encoded = encoder.encode_pair(pair)
+        artist_shared_index = encoder.feature_names.index("artist_shared")
+        assert np.allclose(encoded.features[artist_shared_index], missing_value_vector(16))
+        assert encoded.feature_mask[artist_shared_index] == 0.0
+
+    def test_present_features_unit_norm(self, schema, pair):
+        encoder = PairEncoder(schema, embedder=HashedEmbedder(dim=16))
+        encoded = encoder.encode_pair(pair)
+        title_shared_index = encoder.feature_names.index("title_shared")
+        assert np.isclose(np.linalg.norm(encoded.features[title_shared_index]), 1.0)
+
+    def test_unlabeled_pairs_encoded_as_minus_one(self, schema, pair):
+        encoder = PairEncoder(schema, embedder=HashedEmbedder(dim=8))
+        encoded = encoder.encode([pair.unlabeled()])
+        assert encoded.labels.tolist() == [-1]
+        assert len(encoded.labeled_view()) == 0
+
+    def test_empty_input(self, schema):
+        encoder = PairEncoder(schema, embedder=HashedEmbedder(dim=8))
+        encoded = encoder.encode([])
+        assert len(encoded) == 0
+        assert encoded.features.shape == (0, 4, 8)
+
+    def test_subset(self, schema, pair):
+        encoder = PairEncoder(schema, embedder=HashedEmbedder(dim=8))
+        encoded = encoder.encode([pair, pair.unlabeled(), pair])
+        subset = encoded.subset([0, 2])
+        assert len(subset) == 2
+        assert subset.labels.tolist() == [1, 1]
+
+    def test_determinism(self, schema, pair):
+        encoder_a = PairEncoder(schema, embedder=HashedEmbedder(dim=8))
+        encoder_b = PairEncoder(schema, embedder=HashedEmbedder(dim=8))
+        assert np.allclose(encoder_a.encode_pair(pair).features,
+                           encoder_b.encode_pair(pair).features)
+
+
+class TestImportance:
+    def test_aggregate_and_rank(self):
+        scores = np.array([[0.7, 0.2, 0.1], [0.5, 0.3, 0.2]])
+        report = aggregate_importance(scores, ["a_shared", "b_shared", "b_unique"])
+        assert report.top(1)[0].name == "a_shared"
+        assert report.score_of("a_shared") == pytest.approx(0.6)
+
+    def test_attribute_scores_sum_kinds(self):
+        scores = np.array([[0.4, 0.3, 0.3]])
+        report = aggregate_importance(scores, ["x_shared", "x_unique", "y_shared"])
+        assert report.attribute_scores()["x"] == pytest.approx(0.7)
+
+    def test_top_attributes(self):
+        scores = np.array([[0.5, 0.3, 0.2]])
+        report = aggregate_importance(scores, ["x_shared", "y_shared", "z_shared"])
+        assert top_attributes(report, 2) == ["x", "y"]
+
+    def test_gini_bounds(self):
+        uniform = ImportanceReport([FeatureImportance(f"f{i}", 0.25) for i in range(4)])
+        skewed = ImportanceReport([FeatureImportance("f0", 0.97)]
+                                  + [FeatureImportance(f"f{i}", 0.01) for i in range(1, 4)])
+        assert uniform.gini_coefficient() == pytest.approx(0.0, abs=1e-9)
+        assert skewed.gini_coefficient() > uniform.gini_coefficient()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_importance(np.zeros((2, 3)), ["only", "two"])
+        with pytest.raises(ValueError):
+            aggregate_importance(np.zeros(3), ["a", "b", "c"])
+
+    def test_unknown_feature_lookup(self):
+        report = aggregate_importance(np.array([[1.0]]), ["a_shared"])
+        with pytest.raises(KeyError):
+            report.score_of("missing")

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the numerical substrate (autograd, softmax, metrics), the text
+pipeline (tokenisation, similarity bounds, hashing determinism) and the data
+structures (schema alignment, contrastive features).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import EntityPair, Record, Schema, align_pairs
+from repro.eval.metrics import average_precision, best_f1, precision_recall_curve
+from repro.features.relational import extract_relational_features
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.text import (
+    HashedEmbedder,
+    Tokenizer,
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    tokenize,
+)
+
+TEXT = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs")), max_size=40)
+SMALL_FLOATS = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------------- #
+# Autograd / numerical substrate
+# --------------------------------------------------------------------------- #
+@given(arrays(np.float64, (4, 5), elements=SMALL_FLOATS))
+@settings(max_examples=30, deadline=None)
+def test_softmax_is_probability_distribution(values):
+    out = F.softmax(Tensor(values), axis=-1).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@given(arrays(np.float64, (3, 4), elements=SMALL_FLOATS),
+       arrays(np.float64, (3, 4), elements=SMALL_FLOATS))
+@settings(max_examples=30, deadline=None)
+def test_addition_gradient_is_ones(a_values, b_values):
+    a = Tensor(a_values, requires_grad=True)
+    b = Tensor(b_values, requires_grad=True)
+    (a + b).sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    assert np.allclose(b.grad, 1.0)
+
+
+@given(arrays(np.float64, (6,), elements=st.floats(0.01, 0.99)))
+@settings(max_examples=30, deadline=None)
+def test_sigmoid_logit_roundtrip(probabilities):
+    logits = np.log(probabilities / (1 - probabilities))
+    assert np.allclose(Tensor(logits).sigmoid().data, probabilities, atol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1, allow_nan=False)),
+                min_size=2, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_average_precision_bounded(pairs):
+    labels = [label for label, _ in pairs]
+    scores = [score for _, score in pairs]
+    value = average_precision(labels, scores)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1, allow_nan=False)),
+                min_size=2, max_size=60).filter(lambda items: any(l for l, _ in items)))
+@settings(max_examples=50, deadline=None)
+def test_best_f1_bounded_and_recall_monotone(pairs):
+    labels = [label for label, _ in pairs]
+    scores = [score for _, score in pairs]
+    f1, threshold = best_f1(labels, scores)
+    assert 0.0 <= f1 <= 1.0
+    _, recall, _ = precision_recall_curve(labels, scores)
+    assert np.all(np.diff(recall) >= -1e-12)
+
+
+@given(st.lists(st.floats(0.05, 0.95, allow_nan=False), min_size=3, max_size=40),
+       st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_perfectly_separated_scores_have_ap_one(negative_scores, num_positive):
+    labels = [0] * len(negative_scores) + [1] * num_positive
+    scores = list(np.array(negative_scores) * 0.5) + [0.99] * num_positive
+    assert average_precision(labels, scores) == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Text pipeline
+# --------------------------------------------------------------------------- #
+@given(TEXT)
+@settings(max_examples=60, deadline=None)
+def test_tokenize_is_idempotent_and_lowercase(text):
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens
+    assert all(token == token.lower() for token in tokens)
+
+
+@given(TEXT, TEXT)
+@settings(max_examples=60, deadline=None)
+def test_similarity_measures_bounded_and_symmetric(a, b):
+    for measure in (jaccard_similarity, jaro_winkler_similarity):
+        value_ab = measure(a, b)
+        value_ba = measure(b, a)
+        assert 0.0 <= value_ab <= 1.0 + 1e-9
+        assert abs(value_ab - value_ba) < 1e-9
+
+
+@given(TEXT, TEXT)
+@settings(max_examples=40, deadline=None)
+def test_levenshtein_triangle_inequality_with_empty(a, b):
+    assert levenshtein_distance(a, b) <= len(a) + len(b)
+    assert levenshtein_distance(a, a) == 0
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_hashed_embedder_deterministic_and_finite(token):
+    embedder = HashedEmbedder(dim=16)
+    vector = embedder.embed_token(token)
+    assert vector.shape == (16,)
+    assert np.all(np.isfinite(vector))
+    assert np.allclose(vector, HashedEmbedder(dim=16).embed_token(token))
+
+
+# --------------------------------------------------------------------------- #
+# Data structures
+# --------------------------------------------------------------------------- #
+_ATTR_VALUES = st.dictionaries(st.sampled_from(["title", "artist", "album", "genre"]),
+                               TEXT, min_size=1, max_size=4)
+
+
+@given(_ATTR_VALUES, _ATTR_VALUES)
+@settings(max_examples=50, deadline=None)
+def test_alignment_produces_full_schema(left_attrs, right_attrs):
+    left = Record("l", "s1", left_attrs)
+    right = Record("r", "s2", right_attrs)
+    pair = EntityPair(left, right, label=1)
+    schema = Schema(("title", "artist", "album", "genre", "extra"))
+    aligned = align_pairs([pair], schema)[0]
+    assert set(aligned.left.attribute_names()) == set(schema)
+    assert set(aligned.right.attribute_names()) == set(schema)
+    # Values that existed are preserved.
+    for attribute, value in left_attrs.items():
+        assert aligned.left.value(attribute) == value
+
+
+@given(_ATTR_VALUES, _ATTR_VALUES)
+@settings(max_examples=50, deadline=None)
+def test_contrastive_features_partition_tokens(left_attrs, right_attrs):
+    """sim(A) and uni(A) are disjoint and cover the union of the pair's tokens."""
+    schema = Schema(("title", "artist"))
+    left = Record("l", "s1", {k: left_attrs.get(k, "") for k in schema})
+    right = Record("r", "s2", {k: right_attrs.get(k, "") for k in schema})
+    pair = EntityPair(left, right, label=0)
+    tokenizer = Tokenizer(crop_size=50)
+    features = extract_relational_features(pair, schema, tokenizer)
+    by_name = {feature.name: set(feature.tokens) for feature in features}
+    for attribute in schema:
+        shared = by_name[f"{attribute}_shared"]
+        unique = by_name[f"{attribute}_unique"]
+        left_tokens = set(tokenizer(left.value(attribute)))
+        right_tokens = set(tokenizer(right.value(attribute)))
+        assert shared.isdisjoint(unique)
+        assert shared == left_tokens & right_tokens
+        assert shared | unique == left_tokens | right_tokens
