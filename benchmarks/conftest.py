@@ -3,36 +3,36 @@
 Every benchmark regenerates one table or figure of the paper at a reduced
 workload scale (so the whole suite runs on CPU in minutes) and asserts the
 qualitative claim the paper makes about it.  Set the environment variable
-``REPRO_BENCH_SCALE=paper`` to run closer-to-paper workloads.
+``REPRO_BENCH_SCALE`` to ``smoke`` / ``bench`` / ``paper`` to choose the
+workload (the same knob the ``python -m repro.bench`` runner uses).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro.bench import select_scale, select_seed
 from repro.experiments import ExperimentScale
 
 
-def _select_scale() -> ExperimentScale:
-    mode = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
-    if mode == "paper":
-        return ExperimentScale.paper()
-    if mode == "smoke":
-        return ExperimentScale.smoke()
-    # Default benchmark scale: small enough for CI, large enough to be meaningful.
-    return ExperimentScale(music_entities=50, monitor_entities=70, support_size=40,
-                           test_size=150, adamel_epochs=15, baseline_epochs=8,
-                           embedding_dim=32, hidden_dim=24, attention_dim=48,
-                           classifier_hidden_dim=48, tokens_per_attribute=5)
+def pytest_collection_modifyitems(items):
+    """Every test in this directory belongs to the opt-in ``bench`` suite."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
-    return _select_scale()
+    _, scale = select_scale()
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale_name() -> str:
+    """Scale name; tests widen marginal qualitative tolerances at ``smoke``."""
+    return select_scale()[0]
 
 
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
-    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+    return select_seed()

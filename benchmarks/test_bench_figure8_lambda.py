@@ -12,7 +12,7 @@ LAMBDAS = (0.0, 0.9, 0.98, 1.0)
 
 
 @pytest.mark.benchmark(group="figure8")
-def test_figure8_lambda_sweep(benchmark, bench_scale, bench_seed):
+def test_figure8_lambda_sweep(benchmark, bench_scale, bench_scale_name, bench_seed):
     result = benchmark.pedantic(
         lambda: run_figure8("music3k", "artist", lambdas=LAMBDAS,
                             scale=bench_scale, seed=bench_seed),
@@ -20,11 +20,14 @@ def test_figure8_lambda_sweep(benchmark, bench_scale, bench_seed):
     print()
     print(result.format())
 
+    # At smoke scale the λ sweep is noisy (few epochs, tiny corpora); the
+    # suite then only sanity-checks the pipeline mechanics.
+    tolerance = 0.05 if bench_scale_name != "smoke" else 0.3
     for variant in ("adamel-zero", "adamel-hyb"):
         at_high_lambda = result.pr_auc(variant, 0.98)
         at_zero_lambda = result.pr_auc(variant, 0.0)
         # Adaptation (λ=0.98) should not be worse than no adaptation (λ=0).
-        assert at_high_lambda >= at_zero_lambda - 0.05, variant
+        assert at_high_lambda >= at_zero_lambda - tolerance, variant
     # AdaMEL-zero at λ=1 has no supervision at all; it must not be the best point.
     zero_series = result.series["adamel-zero"]
     assert result.pr_auc("adamel-zero", 1.0) <= max(zero_series) + 1e-9

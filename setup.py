@@ -1,2 +1,11 @@
-from setuptools import setup
-setup()
+"""Shim for legacy tooling; packaging metadata lives in pyproject.toml.
+
+The package uses a src/ layout: importable code is under ``src/repro``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -32,6 +32,7 @@ from .data.records import EntityPair, Record
 from .data.schema import Schema
 from .eval.evaluation import compare_models, evaluate_model
 from .eval.metrics import classification_report, pr_auc
+from .infer import BatchedPredictor, load_model, save_model
 
 __version__ = "1.0.0"
 
@@ -57,4 +58,7 @@ __all__ = [
     "compare_models",
     "pr_auc",
     "classification_report",
+    "BatchedPredictor",
+    "save_model",
+    "load_model",
 ]

@@ -12,7 +12,7 @@ trained with gradient descent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,9 @@ class TLERConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # Accept any iterable of measure names; the tuple form is also what
+        # the similarity memo uses as (part of) its hashable cache key.
+        object.__setattr__(self, "measures", tuple(self.measures))
         unknown = [m for m in self.measures if m not in SIMILARITY_FUNCTIONS]
         if unknown:
             raise ValueError(f"unknown similarity measures: {unknown}")
@@ -59,16 +62,33 @@ class TLER:
         self._feature_mean: Optional[np.ndarray] = None
         self._feature_std: Optional[np.ndarray] = None
 
+    # Similarity measures are pure functions of the two value strings, and
+    # attribute values repeat heavily across pairs, models and scenario modes
+    # (entity names recur; schema alignment yields many empty values), so the
+    # per-value-pair vectors are memoized process-wide, keyed by the measure
+    # tuple alongside both strings.  Bounded so a long-running process that
+    # sweeps many generated corpora cannot grow it without limit.
+    _sim_cache: Dict[Tuple[Tuple[str, ...], str, str], np.ndarray] = {}
+    _SIM_CACHE_MAX = 200_000
+
     # ------------------------------------------------------------------ #
     def _featurize(self, pairs: Sequence[EntityPair]) -> np.ndarray:
         """Standard feature space: per-attribute similarity vectors, concatenated."""
         assert self.schema is not None
-        features = np.zeros((len(pairs), len(self.schema) * len(self.config.measures)))
+        measures = self.config.measures
+        cache = self._sim_cache
+        features = np.zeros((len(pairs), len(self.schema) * len(measures)))
         for i, pair in enumerate(pairs):
             blocks: List[np.ndarray] = []
             for attribute in self.schema:
                 left, right = pair.values(attribute)
-                blocks.append(similarity_vector(left, right, self.config.measures))
+                key = (measures, left, right)
+                vector = cache.get(key)
+                if vector is None:
+                    vector = similarity_vector(left, right, measures)
+                    if len(cache) < self._SIM_CACHE_MAX:
+                        cache[key] = vector
+                blocks.append(vector)
             features[i] = np.concatenate(blocks)
         return features
 

@@ -1,0 +1,29 @@
+"""Benchmark runner package (``python -m repro.bench``).
+
+Times every figure/table reproduction at a chosen workload scale, emits the
+``BENCH_core.json`` perf snapshot, and gates CI against regressions.
+"""
+
+from .runner import (
+    BENCH_SCHEMA_VERSION,
+    STAGES,
+    BenchStage,
+    check_regressions,
+    find_regressions,
+    list_stages,
+    run_suite,
+    select_scale,
+    select_seed,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchStage",
+    "STAGES",
+    "run_suite",
+    "check_regressions",
+    "find_regressions",
+    "list_stages",
+    "select_scale",
+    "select_seed",
+]

@@ -92,9 +92,12 @@ class AdaMELNetwork(Module):
                 f"got {features.shape}"
             )
         h = Tensor(features)
-        # (N, F, 1, D) @ (F, D, H) -> (N, F, 1, H), broadcasting over the batch.
-        projected = h.unsqueeze(2) @ self.V
-        projected = projected.squeeze(2) + self.b
+        # (F, N, D) @ (F, D, H) -> (F, N, H): one GEMM per feature.  The
+        # broadcast form (N, F, 1, D) @ (F, D, H) computes the same per-pair
+        # dot products but as N*F single-row matmuls, and its backward
+        # materialises an (N, F, D, H) temporary that is then summed over N.
+        projected = (h.transpose(1, 0, 2) @ self.V).transpose(1, 0, 2)
+        projected = projected + self.b
         return F.relu(projected)
 
     def attention_scores(self, latent: Tensor) -> Tensor:

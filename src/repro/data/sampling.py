@@ -20,7 +20,16 @@ __all__ = ["BatchSampler", "sample_balanced", "sample_support_set", "negative_pa
 
 
 class BatchSampler:
-    """Yield shuffled mini-batches of indices over a dataset of ``n`` items."""
+    """Yield shuffled mini-batches of indices over a dataset of ``n`` items.
+
+    With an integer seed, every pass over the sampler (an "epoch") re-shuffles
+    with a generator derived deterministically from ``(seed, epoch)``: the
+    epoch-``k`` order depends only on the seed and ``k``, never on how many
+    random numbers earlier passes consumed.  Two samplers sharing a seed
+    therefore stay in lockstep even when their iterations interleave.  The
+    first epoch's permutation matches the historical behaviour (a fresh
+    generator seeded with ``seed``), so single-pass users are unaffected.
+    """
 
     def __init__(self, num_items: int, batch_size: int, shuffle: bool = True,
                  drop_last: bool = False, seed: SeedLike = 0) -> None:
@@ -32,12 +41,42 @@ class BatchSampler:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
-        self._rng = spawn_rng(seed)
+        self._seed = int(seed) if isinstance(seed, (int, np.integer)) else None
+        # Legacy path: an externally provided generator (or None) cannot be
+        # re-derived per epoch, so it is consumed statefully as before.
+        self._rng = spawn_rng(seed) if self._seed is None else None
+        self._epoch = 0
+
+    def _epoch_rng(self) -> np.random.Generator:
+        if self._seed is None:
+            return self._rng
+        if self._epoch == 0:
+            return spawn_rng(self._seed)
+        entropy = np.random.SeedSequence([self._seed & 0xFFFFFFFFFFFFFFFF, self._epoch])
+        return np.random.default_rng(entropy)
+
+    def set_epoch(self, epoch: int) -> "BatchSampler":
+        """Jump to a specific epoch (e.g. when resuming training).
+
+        Only available with an integer seed: an externally provided generator
+        is consumed statefully, so a past epoch's order cannot be re-derived.
+        """
+        if self._seed is None:
+            raise RuntimeError(
+                "set_epoch() requires an integer seed; this sampler was built "
+                "with an external random generator, whose epoch order cannot "
+                "be re-derived"
+            )
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self._epoch = epoch
+        return self
 
     def __iter__(self) -> Iterator[np.ndarray]:
         order = np.arange(self.num_items)
         if self.shuffle:
-            self._rng.shuffle(order)
+            self._epoch_rng().shuffle(order)
+        self._epoch += 1
         for start in range(0, self.num_items, self.batch_size):
             batch = order[start:start + self.batch_size]
             if self.drop_last and len(batch) < self.batch_size:

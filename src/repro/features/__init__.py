@@ -1,5 +1,6 @@
 """Feature pipeline: contrastive relational features and pair encoding."""
 
+from .cache import EncodingCache, get_default_cache, set_default_cache
 from .encoder import EncodedBatch, EncodedPair, PairEncoder
 from .importance import FeatureImportance, ImportanceReport, aggregate_importance, top_attributes
 from .relational import (
@@ -17,6 +18,9 @@ __all__ = [
     "PairEncoder",
     "EncodedPair",
     "EncodedBatch",
+    "EncodingCache",
+    "get_default_cache",
+    "set_default_cache",
     "FeatureImportance",
     "ImportanceReport",
     "aggregate_importance",

@@ -1,0 +1,126 @@
+"""Process-wide cache of encoded pair features.
+
+Training and evaluating one multi-source scenario encodes the same support,
+target and test pairs many times: once per AdaMEL variant, once per baseline
+that shares the encoder, and once per figure/table that revisits the scenario.
+The :class:`EncodingCache` memoises the ``(F, D)`` feature matrix and feature
+mask of every pair so that work is done once per process.
+
+Keys are exact, not probabilistic: a cache key combines the encoder
+fingerprint (schema, contrastive feature kinds, tokenizer and embedder
+configuration), the ``pair_id``, and the tuple of raw attribute values of both
+records.  Two pairs that share an id but differ in content (e.g. the same
+record ids generated under different corpus seeds) therefore never collide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EncodingCache", "get_default_cache", "set_default_cache"]
+
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+CacheKey = Tuple[Hashable, ...]
+CacheEntry = Tuple[np.ndarray, np.ndarray]  # (features (F, D), mask (F,))
+
+
+class EncodingCache:
+    """Byte-bounded LRU cache of per-pair encoded features.
+
+    Parameters
+    ----------
+    max_bytes:
+        Approximate memory budget for the cached arrays; least-recently-used
+        entries are evicted once the budget is exceeded.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: CacheKey) -> Optional[CacheEntry]:
+        """Return the cached ``(features, mask)`` for ``key`` or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: CacheKey, features: np.ndarray, mask: np.ndarray) -> None:
+        """Insert a pair's encoded arrays (copied, so later mutation of the
+        batch the arrays were sliced from cannot corrupt the cache)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        features = np.array(features, dtype=np.float64, copy=True)
+        mask = np.array(mask, dtype=np.float64, copy=True)
+        features.setflags(write=False)
+        mask.setflags(write=False)
+        nbytes = features.nbytes + mask.nbytes
+        if nbytes > self.max_bytes:
+            # An entry that can never fit must not flush the whole cache.
+            return
+        while self._entries and self.current_bytes + nbytes > self.max_bytes:
+            _, (old_features, old_mask) = self._entries.popitem(last=False)
+            self.current_bytes -= old_features.nbytes + old_mask.nbytes
+            self.evictions += 1
+        self._entries[key] = (features, mask)
+        self.current_bytes += nbytes
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for diagnostics and benchmark reports."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (f"EncodingCache(entries={len(self._entries)}, "
+                f"bytes={self.current_bytes}, hits={self.hits}, misses={self.misses})")
+
+
+_DEFAULT_CACHE = EncodingCache()
+
+
+def get_default_cache() -> EncodingCache:
+    """The process-wide cache shared by every encoder unless told otherwise."""
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: EncodingCache) -> EncodingCache:
+    """Replace the process-wide default cache; returns the previous one."""
+    global _DEFAULT_CACHE
+    if not isinstance(cache, EncodingCache):
+        raise TypeError(f"expected an EncodingCache, got {type(cache).__name__}")
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous

@@ -1,0 +1,167 @@
+"""Batched inference over trained AdaMEL models.
+
+``BatchedPredictor`` serves matching probabilities for many target domains
+without retraining: prediction requests are micro-batched and executed as
+fused forward passes under ``no_grad``, reusing the process-wide encoding
+cache so repeated pairs are never re-encoded.
+
+Two usage styles are supported:
+
+* **bulk** — ``predict_proba(pairs)`` scores a pair list in micro-batches;
+* **queued** — ``submit(pairs)`` enqueues requests from many call sites and
+  ``flush()`` runs one fused pass over everything queued, returning the
+  probabilities in submission order (the micro-service style of batching).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.trainer import AdaMELTrainer
+from ..data.records import EntityPair
+from ..features.cache import EncodingCache
+from ..features.encoder import PairEncoder
+from ..nn import no_grad
+from .serialization import load_model
+
+__all__ = ["BatchedPredictor"]
+
+DEFAULT_MICRO_BATCH_SIZE = 256
+
+
+class BatchedPredictor:
+    """Micro-batched, no-grad inference front end for a fitted AdaMEL model.
+
+    Parameters
+    ----------
+    encoder, network:
+        The fitted pair encoder and network (for example from a loaded model
+        bundle or a trained :class:`~repro.core.trainer.AdaMELTrainer`).
+    micro_batch_size:
+        Maximum number of pairs per fused forward pass.  Batched predictions
+        are numerically equal to one-by-one predictions; micro-batching only
+        bounds peak memory while keeping the forward pass fused.
+    """
+
+    def __init__(self, encoder: PairEncoder, network, micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE) -> None:
+        if micro_batch_size <= 0:
+            raise ValueError(f"micro_batch_size must be positive, got {micro_batch_size}")
+        self.encoder = encoder
+        self.network = network
+        self.micro_batch_size = micro_batch_size
+        self._queue: List[EntityPair] = []
+        self.requests_served = 0
+        self.batches_run = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trainer(cls, trainer: AdaMELTrainer,
+                     micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE) -> "BatchedPredictor":
+        """Wrap a fitted trainer without copying its model."""
+        if trainer.network is None or trainer.encoder is None:
+            raise ValueError("the trainer must be fitted before wrapping it")
+        return cls(trainer.encoder, trainer.network, micro_batch_size=micro_batch_size)
+
+    @classmethod
+    def load(cls, path: Union[str, Path], micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE,
+             cache: Optional[EncodingCache] = None) -> "BatchedPredictor":
+        """Load a saved model bundle (see :func:`repro.infer.save_model`)."""
+        trainer = load_model(path, cache=cache)
+        return cls.from_trainer(trainer, micro_batch_size=micro_batch_size)
+
+    # ------------------------------------------------------------------ #
+    # Bulk inference
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Matching probabilities for ``pairs``, computed in micro-batches."""
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros(0)
+        outputs: List[np.ndarray] = []
+        was_training = self.network.training
+        self.network.eval()
+        try:
+            with no_grad():
+                for start in range(0, len(pairs), self.micro_batch_size):
+                    chunk = pairs[start:start + self.micro_batch_size]
+                    batch = self.encoder.encode(chunk)
+                    forward = self.network.forward(batch.features)
+                    outputs.append(np.atleast_1d(forward.probabilities.data.copy()))
+                    self.batches_run += 1
+        finally:
+            self.network.train(was_training)
+        self.requests_served += len(pairs)
+        return np.concatenate(outputs)
+
+    def predict(self, pairs: Sequence[EntityPair], threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(pairs) >= threshold).astype(np.int64)
+
+    def attention_scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Attention vectors ``f(x)`` (shape ``(N, F)``), micro-batched."""
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros((0, self.encoder.num_features))
+        outputs: List[np.ndarray] = []
+        was_training = self.network.training
+        self.network.eval()
+        try:
+            with no_grad():
+                for start in range(0, len(pairs), self.micro_batch_size):
+                    chunk = pairs[start:start + self.micro_batch_size]
+                    batch = self.encoder.encode(chunk)
+                    outputs.append(self.network.attention_numpy(batch.features))
+                    self.batches_run += 1
+        finally:
+            self.network.train(was_training)
+        self.requests_served += len(pairs)
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Queued inference
+    # ------------------------------------------------------------------ #
+    def submit(self, pairs: Union[EntityPair, Sequence[EntityPair]]) -> slice:
+        """Enqueue one pair or a pair list; returns the slice of the next
+        :meth:`flush` result holding these requests' probabilities."""
+        if isinstance(pairs, EntityPair):
+            pairs = [pairs]
+        start = len(self._queue)
+        self._queue.extend(pairs)
+        return slice(start, len(self._queue))
+
+    def pending(self) -> int:
+        """Number of queued, not yet flushed requests."""
+        return len(self._queue)
+
+    def flush(self) -> np.ndarray:
+        """Score every queued request in fused micro-batches and clear the
+        queue; probabilities are returned in submission order.  On failure
+        the queue is restored, so the slices from :meth:`submit` stay valid
+        and a retry flush covers the same requests."""
+        queued, self._queue = self._queue, []
+        if not queued:
+            return np.zeros(0)
+        try:
+            return self.predict_proba(queued)
+        except BaseException:
+            self._queue = queued + self._queue
+            raise
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Serving counters (requests, fused batches, queue depth)."""
+        return {
+            "requests_served": self.requests_served,
+            "batches_run": self.batches_run,
+            "pending": len(self._queue),
+            "micro_batch_size": self.micro_batch_size,
+        }
+
+    def __repr__(self) -> str:
+        return (f"BatchedPredictor(micro_batch_size={self.micro_batch_size}, "
+                f"served={self.requests_served}, pending={len(self._queue)})")

@@ -51,6 +51,13 @@ class AdditiveAttention(Module):
         ``(batch, F)`` or ``(F,)`` respectively.
         """
         x = as_tensor(x)
+        if x.ndim > 2:
+            # Flatten the leading axes so the projection is one GEMM instead
+            # of a batched matmul whose backward materialises a per-batch
+            # (H', H) gradient block before summing it down to W's shape.
+            lead = x.shape[:-1]
+            projected = (x.reshape(-1, x.shape[-1]) @ self.W.T).tanh()
+            return (projected @ self.a).reshape(lead)
         projected = (x @ self.W.T).tanh()
         return projected @ self.a
 

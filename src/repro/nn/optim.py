@@ -79,11 +79,17 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Scratch buffers so step() allocates nothing on the hot path.
+        self._m_hat = [np.zeros_like(p.data) for p in self.parameters]
+        self._v_hat = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v, m_hat, v_hat in zip(self.parameters, self._m, self._v,
+                                             self._m_hat, self._v_hat):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -93,9 +99,13 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / (1.0 - self.beta1 ** t)
-            v_hat = v / (1.0 - self.beta2 ** t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.divide(m, bias1, out=m_hat)
+            np.divide(v, bias2, out=v_hat)
+            np.sqrt(v_hat, out=v_hat)
+            v_hat += self.eps
+            np.multiply(m_hat, self.lr, out=m_hat)
+            np.divide(m_hat, v_hat, out=m_hat)
+            param.data -= m_hat
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -55,6 +55,14 @@ def is_grad_enabled() -> bool:
     return _GradMode.enabled
 
 
+def _is_basic_index(index: object) -> bool:
+    """True when ``index`` uses only basic (non-fancy) numpy indexing."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(item is None or item is Ellipsis or isinstance(item, slice)
+               or (isinstance(item, int) and not isinstance(item, bool))
+               for item in items)
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, reversing numpy broadcasting.
 
@@ -177,11 +185,15 @@ class Tensor:
         """Accumulate an incoming gradient into this tensor."""
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if type(grad) is not np.ndarray or grad.dtype != np.float64:
+            grad = np.asarray(grad, dtype=np.float64)
+        grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
+            # Copy: the incoming buffer may be shared with sibling operands.
             self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            # In-place add is safe — ``self.grad`` is our private copy.
+            self.grad += grad
 
     # ------------------------------------------------------------------ #
     # Arithmetic
@@ -207,10 +219,17 @@ class Tensor:
         return self._make_child(data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-as_tensor(other))
+        other_t = as_tensor(other)
+        data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other_t._accumulate(-grad)
+
+        return self._make_child(data, (self, other_t), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return as_tensor(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
@@ -432,10 +451,17 @@ class Tensor:
 
     def __getitem__(self, index: object) -> "Tensor":
         data = self.data[index]
+        basic = _is_basic_index(index)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if basic:
+                # Basic indexing never selects an element twice, so a plain
+                # in-place add is correct and much faster than ``np.add.at``
+                # (an unbuffered ufunc loop).
+                full[index] += grad
+            else:
+                np.add.at(full, index, grad)
             self._accumulate(full)
 
         return self._make_child(np.asarray(data, dtype=np.float64), (self,), backward)

@@ -8,7 +8,8 @@ n-gram vectors plus a whole-word hashed vector.  The embeddings are *fixed*
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import itertools
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +19,18 @@ from .tokenizer import Tokenizer
 __all__ = ["TokenEmbedder", "HashedEmbedder", "missing_value_vector"]
 
 DEFAULT_EMBEDDING_DIM = 64
+
+# Token embeddings are a pure function of the embedder configuration, so the
+# token -> vector memo is shared process-wide across instances with the same
+# configuration (trainers build a fresh embedder per fit).  The key includes
+# the concrete class so a subclass with changed behaviour never shares a memo
+# with its base.
+_SHARED_TOKEN_CACHES: Dict[Tuple[Hashable, ...], Dict[str, np.ndarray]] = {}
+
+# Monotonic tokens for identity-based fingerprints: unlike ``id()``, a token
+# is never reused after an embedder is garbage collected, so a stale entry in
+# the process-wide encoding cache can never match a new embedder.
+_IDENTITY_TOKENS = itertools.count()
 
 
 def missing_value_vector(dim: int, scale: float = 1.0) -> np.ndarray:
@@ -53,6 +66,17 @@ class TokenEmbedder:
             total += self.embed_token(token)
         return total
 
+    def embed_token_batch(self, tokens: Sequence[str]) -> np.ndarray:
+        """Embed many tokens at once into a ``(len(tokens), dim)`` matrix.
+
+        The default implementation loops over :meth:`embed_token`; subclasses
+        may override with a vectorised path that produces identical values.
+        """
+        out = np.empty((len(tokens), self.dim), dtype=np.float64)
+        for i, token in enumerate(tokens):
+            out[i] = self.embed_token(token)
+        return out
+
     def embed_token_matrix(self, tokens: Sequence[str], length: int) -> np.ndarray:
         """Return a padded ``(length, dim)`` matrix of per-token embeddings."""
         matrix = np.zeros((length, self.dim), dtype=np.float64)
@@ -63,6 +87,19 @@ class TokenEmbedder:
     def embed_text(self, text: str) -> np.ndarray:
         """Tokenise then embed a raw attribute value."""
         raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Configuration fingerprint used in encoding-cache keys.
+
+        The default is instance-identity based, which is always safe (never
+        shares cache entries between embedders that could differ); embedders
+        whose output is a pure function of their configuration override this.
+        """
+        token = getattr(self, "_identity_token", None)
+        if token is None:
+            token = next(_IDENTITY_TOKENS)
+            self._identity_token = token
+        return f"{type(self).__qualname__}@{token}"
 
 
 class HashedEmbedder(TokenEmbedder):
@@ -90,23 +127,88 @@ class HashedEmbedder(TokenEmbedder):
         self.max_n = max_n
         self.table = HashedVectorTable(dim=dim, seed=seed)
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
-        self._cache: Dict[str, np.ndarray] = {}
+        # Subclasses may change embedding behaviour in ways this config does
+        # not capture, so only plain HashedEmbedder instances share a memo.
+        if type(self) is HashedEmbedder:
+            self._cache = _SHARED_TOKEN_CACHES.setdefault(
+                (dim, min_n, max_n, seed, self.table.num_buckets), {})
+        else:
+            self._cache = {}
         self._cache_size = cache_size
+
+    def clear_memo(self) -> None:
+        """Drop this configuration's shared token -> vector memo (benchmarks)."""
+        self._cache.clear()
+
+    def _piece_keys(self, token: str) -> List[str]:
+        keys = [f"word::{token}"]
+        keys.extend(f"ngram::{gram}" for gram in char_ngrams(token, self.min_n, self.max_n))
+        return keys
 
     def embed_token(self, token: str) -> np.ndarray:
         cached = self._cache.get(token)
         if cached is not None:
             return cached
-        pieces: List[np.ndarray] = [self.table.vector(f"word::{token}")]
-        for gram in char_ngrams(token, self.min_n, self.max_n):
-            pieces.append(self.table.vector(f"ngram::{gram}"))
+        pieces: List[np.ndarray] = [self.table.vector(key) for key in self._piece_keys(token)]
         vector = np.mean(pieces, axis=0)
         if len(self._cache) < self._cache_size:
             self._cache[token] = vector
         return vector
 
+    def embed_token_batch(self, tokens: Sequence[str]) -> np.ndarray:
+        """Vectorised batch embedding, bit-identical to :meth:`embed_token`.
+
+        Uncached tokens are expanded into their hashed pieces, the piece
+        vectors are gathered in one pass and averaged per token with a
+        segmented reduction; the reduction order matches the sequential
+        ``np.mean`` of :meth:`embed_token`, so cached and batch-computed
+        vectors are interchangeable.
+        """
+        out = np.empty((len(tokens), self.dim), dtype=np.float64)
+        miss_rows: List[int] = []
+        miss_tokens: List[str] = []
+        for i, token in enumerate(tokens):
+            cached = self._cache.get(token)
+            if cached is None:
+                miss_rows.append(i)
+                miss_tokens.append(token)
+            else:
+                out[i] = cached
+        if miss_tokens:
+            keys: List[str] = []
+            counts = np.empty(len(miss_tokens), dtype=np.int64)
+            for j, token in enumerate(miss_tokens):
+                piece_keys = self._piece_keys(token)
+                counts[j] = len(piece_keys)
+                keys.extend(piece_keys)
+            piece_vectors = self.table.vectors(keys)
+            ends = np.cumsum(counts)
+            start = 0
+            for j, (row, token) in enumerate(zip(miss_rows, miss_tokens)):
+                end = int(ends[j])
+                # np.add.reduce over the contiguous block reproduces the exact
+                # reduction np.mean performs in embed_token (bit-identical).
+                vector = np.add.reduce(piece_vectors[start:end], axis=0) / counts[j]
+                start = end
+                out[row] = vector
+                if len(self._cache) < self._cache_size:
+                    self._cache[token] = vector
+        return out
+
     def embed_text(self, text: str) -> np.ndarray:
         return self.embed_tokens(self.tokenizer(text))
+
+    def fingerprint(self) -> str:
+        """Configuration fingerprint used in encoding-cache keys.
+
+        Only plain :class:`HashedEmbedder` output is a pure function of this
+        configuration; subclasses that do not override this fall back to the
+        identity-based default, which never matches another instance.
+        """
+        if type(self) is HashedEmbedder:
+            return (f"hashed:dim={self.dim}:n={self.min_n}-{self.max_n}:"
+                    f"{self.table.fingerprint()}")
+        return super().fingerprint()
 
     def similarity(self, token_a: str, token_b: str) -> float:
         """Cosine similarity between two token embeddings (diagnostics)."""

@@ -11,11 +11,17 @@ deterministic Gaussian vectors.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["stable_hash", "char_ngrams", "HashedVectorTable"]
+
+# Bucket vectors are a pure function of (dim, num_buckets, seed, bucket), so
+# the lazily generated vectors are shared process-wide across all table
+# instances with the same configuration.  Trainers construct a fresh embedder
+# (and thus a fresh table) per fit; sharing keeps the hot vocabulary warm.
+_SHARED_BUCKET_CACHES: Dict[Tuple[int, int, int], Dict[int, np.ndarray]] = {}
 
 _FNV_OFFSET = 1469598103934665603
 _FNV_PRIME = 1099511628211
@@ -65,11 +71,17 @@ class HashedVectorTable:
         self.dim = dim
         self.num_buckets = num_buckets
         self.seed = seed
-        self._cache: dict = {}
+        self._cache = _SHARED_BUCKET_CACHES.setdefault((dim, num_buckets, seed), {})
 
     def bucket(self, key: str) -> int:
         """Map a string key to its bucket index."""
         return stable_hash(key, salt=self.seed) % self.num_buckets
+
+    def buckets(self, keys: Sequence[str]) -> np.ndarray:
+        """Bucket indices of ``keys`` as an int64 array."""
+        num_buckets, seed = self.num_buckets, self.seed
+        return np.fromiter((stable_hash(key, salt=seed) % num_buckets for key in keys),
+                           dtype=np.int64, count=len(keys))
 
     def vector_for_bucket(self, bucket: int) -> np.ndarray:
         """Return the deterministic Gaussian vector for ``bucket``."""
@@ -82,6 +94,13 @@ class HashedVectorTable:
             self._cache[bucket] = vector
         return vector
 
+    def vectors_for_buckets(self, buckets: Sequence[int]) -> np.ndarray:
+        """Stack the vectors of ``buckets`` into a ``(len(buckets), dim)`` array."""
+        out = np.empty((len(buckets), self.dim), dtype=np.float64)
+        for i, bucket in enumerate(buckets):
+            out[i] = self.vector_for_bucket(int(bucket))
+        return out
+
     def vector(self, key: str) -> np.ndarray:
         """Return the vector assigned to a string key."""
         return self.vector_for_bucket(self.bucket(key))
@@ -91,4 +110,8 @@ class HashedVectorTable:
         key_list = list(keys)
         if not key_list:
             return np.zeros((0, self.dim))
-        return np.stack([self.vector(key) for key in key_list])
+        return self.vectors_for_buckets(self.buckets(key_list))
+
+    def fingerprint(self) -> str:
+        """Configuration fingerprint used in encoding-cache keys."""
+        return f"table:dim={self.dim}:buckets={self.num_buckets}:seed={self.seed}"

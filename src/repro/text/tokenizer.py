@@ -7,9 +7,11 @@ embeddings; the same cropping default is used here.
 
 from __future__ import annotations
 
+import itertools
 import re
 import unicodedata
-from typing import List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["tokenize", "normalize_text", "crop_tokens", "Tokenizer"]
 
@@ -17,6 +19,15 @@ __all__ = ["tokenize", "normalize_text", "crop_tokens", "Tokenizer"]
 # that abbreviations such as "n." remain single tokens close to their full form.
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:\.[a-z0-9]+)*\.?|[^\sa-z0-9]", re.IGNORECASE)
 DEFAULT_CROP_SIZE = 20
+
+# Attribute values repeat heavily across entity pairs (every record appears in
+# many pairs), so tokenisation results are memoised process-wide.  Tokenisation
+# is a pure function of the input text, which keeps the memo exact.
+_TOKENIZE_CACHE_SIZE = 1 << 16
+
+# Monotonic tokens for per-instance subclass fingerprints: unlike ``id()``,
+# never reused after an instance is garbage collected.
+_IDENTITY_TOKENS = itertools.count()
 
 
 def normalize_text(text: str) -> str:
@@ -28,12 +39,19 @@ def normalize_text(text: str) -> str:
     return re.sub(r"\s+", " ", stripped.strip().lower())
 
 
-def tokenize(text: str) -> List[str]:
-    """Split a value into lowercase word tokens; empty values yield ``[]``."""
+@lru_cache(maxsize=_TOKENIZE_CACHE_SIZE)
+def _tokenize_cached(text: str) -> Tuple[str, ...]:
     normalized = normalize_text(text)
     if not normalized:
-        return []
-    return [match.group(0) for match in _TOKEN_PATTERN.finditer(normalized)]
+        return ()
+    return tuple(match.group(0) for match in _TOKEN_PATTERN.finditer(normalized))
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a value into lowercase word tokens; empty values yield ``[]``."""
+    if not isinstance(text, str):
+        text = "" if text is None else str(text)
+    return list(_tokenize_cached(text))
 
 
 def crop_tokens(tokens: Sequence[str], crop_size: int = DEFAULT_CROP_SIZE) -> List[str]:
@@ -54,17 +72,62 @@ class Tokenizer:
         When False, punctuation-only tokens are dropped.
     """
 
-    def __init__(self, crop_size: int = DEFAULT_CROP_SIZE, keep_punctuation: bool = False) -> None:
+    # One memo per (class, crop_size, keep_punctuation) configuration, shared
+    # by all Tokenizer instances: trainers construct a fresh tokenizer per
+    # fit, and sharing keeps the memo warm across fits within one process.
+    # Keying on the concrete class keeps a subclass with changed behaviour
+    # from sharing (and poisoning) the base class's memo.
+    _shared_caches: Dict[Tuple[type, int, bool], Dict[str, Tuple[str, ...]]] = {}
+
+    def __init__(self, crop_size: int = DEFAULT_CROP_SIZE, keep_punctuation: bool = False,
+                 cache_size: int = _TOKENIZE_CACHE_SIZE) -> None:
         if crop_size <= 0:
             raise ValueError(f"crop_size must be positive, got {crop_size}")
         self.crop_size = crop_size
         self.keep_punctuation = keep_punctuation
+        self._cache_size = cache_size
+        # Subclasses may carry behaviour-changing state this base class does
+        # not know about, so only plain Tokenizer instances share a memo (and
+        # a config-based fingerprint); subclass instances get private ones.
+        if type(self) is Tokenizer:
+            self._cache = self._shared_caches.setdefault(
+                (type(self), crop_size, keep_punctuation), {})
+        else:
+            self._cache = {}
+
+    def clear_memo(self) -> None:
+        """Drop this configuration's shared text -> tokens memo (benchmarks)."""
+        self._cache.clear()
 
     def __call__(self, text: str) -> List[str]:
+        if not isinstance(text, str):
+            text = "" if text is None else str(text)
+        cached = self._cache.get(text)
+        if cached is not None:
+            return list(cached)
         tokens = tokenize(text)
         if not self.keep_punctuation:
             tokens = [tok for tok in tokens if any(ch.isalnum() for ch in tok)]
-        return crop_tokens(tokens, self.crop_size)
+        tokens = crop_tokens(tokens, self.crop_size)
+        if len(self._cache) < self._cache_size:
+            self._cache[text] = tuple(tokens)
+        return tokens
+
+    def fingerprint(self) -> str:
+        """Configuration fingerprint used in encoding-cache keys.
+
+        Only plain :class:`Tokenizer` output is a pure function of the config
+        captured here; a subclass that does not override this gets a
+        per-instance fingerprint (never reused within the process), so its
+        cache entries can never be served to a differently-behaving instance.
+        """
+        if type(self) is Tokenizer:
+            return f"tok:crop={self.crop_size}:punct={int(self.keep_punctuation)}"
+        token = getattr(self, "_identity_token", None)
+        if token is None:
+            token = next(_IDENTITY_TOKENS)
+            self._identity_token = token
+        return f"tok[{type(self).__qualname__}]@{token}"
 
     def __repr__(self) -> str:
         return f"Tokenizer(crop_size={self.crop_size}, keep_punctuation={self.keep_punctuation})"

@@ -1,0 +1,155 @@
+"""Tests for the `python -m repro.bench` runner and its CI perf gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (STAGES, check_regressions, find_regressions, list_stages,
+                         run_suite, select_scale)
+from repro.bench.__main__ import build_parser
+from repro.experiments import ExperimentScale
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestScaleSelection:
+    def test_named_scales(self):
+        assert select_scale("smoke")[1] == ExperimentScale.smoke()
+        assert select_scale("paper")[1] == ExperimentScale.paper()
+        name, scale = select_scale("bench")
+        assert name == "bench"
+        assert isinstance(scale, ExperimentScale)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert select_scale()[0] == "smoke"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert select_scale()[0] == "bench"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark scale"):
+            select_scale("gigantic")
+
+
+class TestStageRegistry:
+    def test_every_experiment_has_a_stage(self):
+        """The bench suite covers every registered figure/table experiment."""
+        stage_names = {name for name, _ in list_stages()}
+        for identifier in EXPERIMENTS:
+            assert any(identifier.startswith(name) or name.startswith(identifier)
+                       for name in stage_names), identifier
+
+    def test_stage_names_unique(self):
+        names = [stage.name for stage in STAGES]
+        assert len(names) == len(set(names))
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError, match="unknown bench stages"):
+            run_suite(scale_name="smoke", stages=["nonexistent"])
+
+
+class TestEncoderStage:
+    def test_encoder_stage_reports_speedup(self):
+        """The encoder micro-stage runs, validates bit-equality internally,
+        and reports the vectorised speedup."""
+        payload = run_suite(scale_name="smoke", seed=0, stages=["encoder"])
+        assert payload["scale"] == "smoke"
+        entry = payload["stages"]["encoder"]
+        assert entry["seconds"] >= 0
+        assert entry["num_pairs"] > 0
+        assert entry["speedup"] > 0
+        assert entry["cached_speedup"] >= entry["speedup"] * 0.1
+        assert payload["schema_version"] == 1
+
+
+class TestPerfGate:
+    @staticmethod
+    def payload(scale="smoke", **stage_seconds):
+        return {"scale": scale,
+                "stages": {name: {"seconds": seconds}
+                           for name, seconds in stage_seconds.items()}}
+
+    def test_passes_within_tolerance(self):
+        baseline = self.payload(figure6=10.0)
+        current = self.payload(figure6=12.0)
+        assert check_regressions(current, baseline, tolerance=0.25) == []
+
+    def test_fails_beyond_tolerance(self):
+        baseline = self.payload(figure6=10.0)
+        current = self.payload(figure6=13.0)
+        problems = check_regressions(current, baseline, tolerance=0.25)
+        assert len(problems) == 1
+        assert "figure6" in problems[0]
+
+    def test_ignores_noise_floor_stages(self):
+        baseline = self.payload(tiny=0.01)
+        current = self.payload(tiny=10.0)
+        assert check_regressions(current, baseline, min_seconds=0.05) == []
+
+    def test_missing_stage_reported(self):
+        baseline = self.payload(figure6=10.0, figure7=5.0)
+        current = self.payload(figure6=10.0)
+        problems = check_regressions(current, baseline)
+        assert any("figure7" in problem for problem in problems)
+
+    def test_scale_mismatch_reported(self):
+        baseline = self.payload(scale="bench", figure6=10.0)
+        current = self.payload(scale="smoke", figure6=10.0)
+        problems = check_regressions(current, baseline)
+        assert len(problems) == 1
+        assert "scale mismatch" in problems[0]
+
+    def test_faster_is_never_a_regression(self):
+        baseline = self.payload(figure6=10.0)
+        current = self.payload(figure6=1.0)
+        assert check_regressions(current, baseline) == []
+
+    def test_find_regressions_names_retryable_stages(self):
+        """A timing regression carries its stage name so the CLI can re-time
+        just that stage; structural problems carry ``None`` (not retryable)."""
+        baseline = self.payload(figure6=10.0, figure7=5.0)
+        current = self.payload(figure6=13.0)
+        names = [name for name, _ in find_regressions(current, baseline, tolerance=0.25)]
+        assert names == ["figure6", None]
+
+    def test_find_regressions_scale_mismatch_not_retryable(self):
+        baseline = self.payload(scale="bench", figure6=10.0)
+        current = self.payload(scale="smoke", figure6=10.0)
+        assert [name for name, _ in find_regressions(current, baseline)] == [None]
+
+    def test_machine_ratio_relaxes_budgets_on_slower_hardware(self):
+        """A uniformly 2x-slower machine (per the encoder calibration
+        workload) must not fail stages that merely scaled with the machine."""
+        baseline = self.payload(figure6=10.0)
+        current = self.payload(figure6=20.0)
+        baseline["stages"]["encoder"] = {"seconds": 1.0, "reference_seconds": 1.0}
+        current["stages"]["encoder"] = {"seconds": 2.0, "reference_seconds": 2.0}
+        assert check_regressions(current, baseline, tolerance=0.25) == []
+        # A genuine regression on top of the machine ratio still fails.
+        current["stages"]["figure6"]["seconds"] = 30.0
+        assert len(check_regressions(current, baseline, tolerance=0.25)) == 1
+
+    def test_machine_ratio_never_tightens_budgets(self):
+        """A faster machine (ratio < 1) keeps the baseline's absolute budget."""
+        baseline = self.payload(figure6=10.0)
+        current = self.payload(figure6=12.0)  # within +25% of baseline
+        baseline["stages"]["encoder"] = {"seconds": 2.0, "reference_seconds": 2.0}
+        current["stages"]["encoder"] = {"seconds": 1.0, "reference_seconds": 1.0}
+        assert check_regressions(current, baseline, tolerance=0.25) == []
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale is None
+        assert args.check is None
+        assert args.tolerance == 0.25
+        assert args.retries == 2
+
+    def test_check_without_value_uses_default_snapshot(self):
+        args = build_parser().parse_args(["--check"])
+        assert args.check == "BENCH_core.json"
+
+    def test_check_with_explicit_baseline(self):
+        args = build_parser().parse_args(["--check", "other.json", "--scale", "smoke"])
+        assert args.check == "other.json"
+        assert args.scale == "smoke"

@@ -1,0 +1,87 @@
+"""Bit-exactness of the batched text-layer primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text import HashedEmbedder, HashedVectorTable, Tokenizer
+
+TOKENS = ["neil", "diamond", "n.", "d.", "ebay.com", "a", "xy",
+          "extraordinarily-long-token-value", "1989", "café"]
+
+
+class TestBatchEmbedding:
+    def test_embed_token_batch_matches_embed_token(self):
+        reference = HashedEmbedder(dim=24)
+        reference._cache.clear()
+        expected = np.stack([reference.embed_token(token) for token in TOKENS])
+        batch = HashedEmbedder(dim=24)
+        batch._cache.clear()
+        actual = batch.embed_token_batch(TOKENS)
+        assert np.array_equal(expected, actual)
+
+    def test_embed_token_batch_with_partial_cache(self):
+        embedder = HashedEmbedder(dim=16)
+        embedder._cache.clear()
+        expected = np.stack([embedder.embed_token(token) for token in TOKENS[:4]])
+        embedder._cache.clear()
+        embedder.embed_token(TOKENS[1])  # warm one token only
+        actual = embedder.embed_token_batch(TOKENS[:4])
+        assert np.array_equal(expected, actual)
+
+    def test_empty_batch(self):
+        assert HashedEmbedder(dim=8).embed_token_batch([]).shape == (0, 8)
+
+    def test_shared_token_cache_across_instances(self):
+        a = HashedEmbedder(dim=16, seed=29)
+        a._cache.clear()
+        vec = a.embed_token("sharedtoken")
+        b = HashedEmbedder(dim=16, seed=29)
+        assert "sharedtoken" in b._cache
+        assert np.array_equal(vec, b.embed_token("sharedtoken"))
+        different_dim = HashedEmbedder(dim=8, seed=29)
+        assert different_dim._cache is not a._cache
+
+
+class TestVectorTableBatch:
+    def test_vectors_match_per_key_lookup(self):
+        table = HashedVectorTable(dim=12, seed=7)
+        keys = [f"key-{i}" for i in range(20)]
+        expected = np.stack([table.vector(key) for key in keys])
+        fresh = HashedVectorTable(dim=12, seed=7)
+        assert np.array_equal(expected, fresh.vectors(keys))
+
+    def test_buckets_match_bucket(self):
+        table = HashedVectorTable(dim=4, seed=3)
+        keys = ["alpha", "beta", "gamma"]
+        assert table.buckets(keys).tolist() == [table.bucket(key) for key in keys]
+
+
+class TestTokenizerMemo:
+    def test_memo_returns_equal_fresh_lists(self):
+        tokenizer = Tokenizer(crop_size=5)
+        first = tokenizer("Neil Diamond & The Band play 9 songs tonight")
+        second = tokenizer("Neil Diamond & The Band play 9 songs tonight")
+        assert first == second
+        assert first is not second  # callers may mutate their copy safely
+        first.append("mutated")
+        assert tokenizer("Neil Diamond & The Band play 9 songs tonight") == second
+
+    def test_fingerprint_distinguishes_configs(self):
+        assert Tokenizer(crop_size=5).fingerprint() != Tokenizer(crop_size=6).fingerprint()
+        assert (Tokenizer(keep_punctuation=True).fingerprint()
+                != Tokenizer(keep_punctuation=False).fingerprint())
+
+    def test_identity_fingerprints_unique_across_lifetimes(self):
+        """Regression: the default identity fingerprint must never repeat,
+        even when a dead embedder's memory address is reused."""
+        from repro.text.embeddings import TokenEmbedder
+
+        class Opaque(TokenEmbedder):  # no fingerprint override
+            dim = 4
+
+        seen = set()
+        for _ in range(50):
+            fp = Opaque().fingerprint()  # object freed each iteration
+            assert fp not in seen
+            seen.add(fp)
