@@ -1,0 +1,30 @@
+"""Benchmark: end-to-end linkage engine on the Music-3K analogue.
+
+Runs the full production pipeline (ingest → block → pair → score → cluster)
+behind ``python -m repro.pipeline`` and checks its deployment claims: index
+blocking keeps nearly every true match while pruning the pair space by an
+order of magnitude, and source-consistent clustering resolves coherent
+entities (no giant snowballed components).
+"""
+
+import pytest
+
+from repro.bench.runner import _stage_pipeline_end_to_end
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_pipeline_end_to_end(benchmark, bench_scale, bench_seed):
+    extras = benchmark.pedantic(
+        lambda: _stage_pipeline_end_to_end(bench_scale, bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print({key: round(value, 4) for key, value in extras.items()})
+
+    # Deployment claim: high-recall blocking at a >= 10x pair reduction.
+    assert extras["blocking_recall"] >= 0.95, (
+        f"blocking recall {extras['blocking_recall']:.3f} below the 0.95 target")
+    assert extras["pair_reduction_factor"] >= 10.0, (
+        f"pair reduction {extras['pair_reduction_factor']:.1f}x below the 10x target")
+    # Clustering must produce real entities, not one giant component.
+    assert extras["num_clusters"] >= extras["num_records"] / 10
+    assert extras["pairwise_f1"] > 0.3

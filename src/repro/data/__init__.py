@@ -1,13 +1,22 @@
 """Data substrate: records, schemas, domains, sampling, blocking, storage."""
 
 from . import generators
-from .blocking import AttributeEqualityBlocker, CandidateGenerator, TokenBlocker
+from .blocking import (
+    AttributeEqualityBlocker,
+    BlockingStats,
+    CandidateGenerator,
+    TokenBlocker,
+    ground_truth_pairs,
+    possible_cross_source_pairs,
+)
 from .domain import MELScenario, PairCollection, SourceDomain, SupportSet, TargetDomain
 from .records import MISSING_VALUE, EntityPair, Record
 from .sampling import BatchSampler, negative_pairs_from_records, sample_balanced, sample_support_set
 from .schema import Schema, align_ontology, align_pairs, align_records, union_schema
 from .splits import split_by_sources, stratified_split, train_test_split
 from .storage import (
+    iter_pairs_jsonl,
+    iter_records_csv,
     read_pair_labels_csv,
     read_pairs_jsonl,
     read_records_csv,
@@ -37,14 +46,19 @@ __all__ = [
     "negative_pairs_from_records",
     "TokenBlocker",
     "AttributeEqualityBlocker",
+    "BlockingStats",
     "CandidateGenerator",
+    "ground_truth_pairs",
+    "possible_cross_source_pairs",
     "train_test_split",
     "stratified_split",
     "split_by_sources",
     "write_records_csv",
     "read_records_csv",
+    "iter_records_csv",
     "write_pairs_jsonl",
     "read_pairs_jsonl",
+    "iter_pairs_jsonl",
     "write_pair_labels_csv",
     "read_pair_labels_csv",
 ]

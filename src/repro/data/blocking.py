@@ -2,21 +2,67 @@
 
 Real EL pipelines never compare all record pairs; a blocking stage selects
 candidate pairs cheaply (the paper cites Cohen & Richman's hashing/merging
-techniques).  The synthetic corpora here are small enough to enumerate, but
-the example applications and the quickstart use blocking to show the full
-pipeline a downstream user would run: block → pair → match.
+techniques).  The blockers here are the small-corpus front end: they delegate
+pair enumeration to the incremental indexes of :mod:`repro.pipeline.index`
+(the scalable path used by the end-to-end engine) and keep the simple
+record-in / pairs-out interface of the examples and quickstart.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..text.tokenizer import tokenize
 from .records import EntityPair, Record
 
-__all__ = ["TokenBlocker", "AttributeEqualityBlocker", "CandidateGenerator"]
+__all__ = ["TokenBlocker", "AttributeEqualityBlocker", "CandidateGenerator",
+           "BlockingStats", "ground_truth_pairs", "possible_cross_source_pairs"]
+
+
+def ground_truth_pairs(records: Sequence[Record],
+                       cross_source_only: bool = True) -> Set[Tuple[str, str]]:
+    """True matching record-id pairs derived from ``entity_id`` ground truth."""
+    by_entity: Dict[str, List[Record]] = defaultdict(list)
+    for record in records:
+        if record.entity_id is not None:
+            by_entity[record.entity_id].append(record)
+    truth: Set[Tuple[str, str]] = set()
+    for group in by_entity.values():
+        for left, right in combinations(group, 2):
+            if cross_source_only and left.source == right.source:
+                continue
+            key = (left.record_id, right.record_id)
+            truth.add(key if key[0] <= key[1] else (key[1], key[0]))
+    return truth
+
+
+def possible_cross_source_pairs(records: Sequence[Record],
+                                cross_source_only: bool = True) -> int:
+    """How many record pairs full enumeration would compare."""
+    total = len(records) * (len(records) - 1) // 2
+    if not cross_source_only:
+        return total
+    per_source = Counter(record.source for record in records)
+    within = sum(count * (count - 1) // 2 for count in per_source.values())
+    return total - within
+
+
+def _dedupe_by_id(pairs: Iterable[Tuple[Record, Record]]) -> List[Tuple[Record, Record]]:
+    """Drop pairs already seen under the sorted ``(record_id, record_id)`` key."""
+    seen: Set[Tuple[str, str]] = set()
+    unique: List[Tuple[Record, Record]] = []
+    for left, right in pairs:
+        key = (left.record_id, right.record_id)
+        if key[0] > key[1]:
+            key = (key[1], key[0])
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((left, right))
+    return unique
 
 
 class TokenBlocker:
@@ -40,20 +86,20 @@ class TokenBlocker:
         """Enumerate unordered record pairs that co-occur in some block.
 
         Blocks larger than ``max_block_size`` are skipped (standard practice:
-        huge blocks are dominated by stop-word-like tokens).
+        huge blocks are dominated by stop-word-like tokens).  Enumeration is
+        delegated to the inverted token index of the pipeline subsystem.
         """
-        seen: Set[Tuple[str, str]] = set()
-        pairs: List[Tuple[Record, Record]] = []
-        for block in self.blocks(records).values():
-            if len(block) > max_block_size:
-                continue
-            for left, right in combinations(block, 2):
-                key = tuple(sorted((left.record_id, right.record_id)))
-                if key in seen:
-                    continue
-                seen.add(key)
-                pairs.append((left, right))
-        return pairs
+        from ..pipeline.index import InvertedTokenIndex
+
+        if max_block_size < 2:
+            return []  # every block of two or more records is skipped
+        index = InvertedTokenIndex(attributes=[self.attribute],
+                                   min_token_length=self.min_token_length,
+                                   max_postings=max_block_size)
+        index.add_records(records)
+        positions = sorted(index.candidate_pairs())
+        return _dedupe_by_id((records[left], records[right])
+                             for left, right in positions)
 
 
 class AttributeEqualityBlocker:
@@ -70,11 +116,44 @@ class AttributeEqualityBlocker:
                 grouped[key].append(record)
         return dict(grouped)
 
-    def candidate_pairs(self, records: Sequence[Record]) -> List[Tuple[Record, Record]]:
+    def candidate_pairs(self, records: Sequence[Record],
+                        max_block_size: int = 50) -> List[Tuple[Record, Record]]:
+        """Enumerate unordered record pairs with equal normalised values.
+
+        Blocks larger than ``max_block_size`` are skipped, matching
+        :meth:`TokenBlocker.candidate_pairs`: one giant equality block (e.g.
+        an attribute that is missing everywhere, normalising to the same key)
+        must not silently produce O(n²) pairs.  Pairs are deduplicated on the
+        sorted record-id key.
+        """
         pairs: List[Tuple[Record, Record]] = []
         for block in self.blocks(records).values():
+            if len(block) > max_block_size:
+                continue
             pairs.extend(combinations(block, 2))
-        return list(pairs)
+        return _dedupe_by_id(pairs)
+
+
+@dataclass(frozen=True)
+class BlockingStats:
+    """Blocking quality: recall of true matches and pair-space reduction.
+
+    ``reduction_ratio`` is the fraction of the full cross-source pair space
+    kept by blocking (candidates / possible pairs; lower is better), and
+    ``pair_reduction_factor`` its reciprocal — the "N× fewer comparisons"
+    headline number.
+    """
+
+    recall: float
+    reduction_ratio: float
+    num_candidates: int
+    num_true_pairs: int
+    possible_pairs: int
+
+    @property
+    def pair_reduction_factor(self) -> float:
+        # Candidate count floored at 1 so the stat stays finite on empty output.
+        return self.possible_pairs / max(self.num_candidates, 1)
 
 
 class CandidateGenerator:
@@ -106,24 +185,36 @@ class CandidateGenerator:
                 candidates.append(EntityPair(left=left, right=right, label=None))
         return candidates
 
-    def recall(self, records: Sequence[Record]) -> float:
+    def stats(self, records: Sequence[Record],
+              candidates: Optional[Sequence[EntityPair]] = None) -> BlockingStats:
+        """Blocking recall and pair-space reduction against ``entity_id`` truth.
+
+        ``candidates`` accepts the output of a previous :meth:`generate` call
+        so quality reporting never re-runs blocking; when omitted, blocking is
+        run once here.  Records without an entity id are ignored by the recall
+        computation (but still count toward the possible-pair space).
+        """
+        if candidates is None:
+            candidates = self.generate(records)
+        truth = ground_truth_pairs(records, self.cross_source_only)
+        retrieved = {tuple(sorted((pair.left.record_id, pair.right.record_id)))
+                     for pair in candidates}
+        possible = possible_cross_source_pairs(records, self.cross_source_only)
+        recall = len(truth & retrieved) / len(truth) if truth else 1.0
+        return BlockingStats(
+            recall=recall,
+            reduction_ratio=len(retrieved) / possible if possible else 0.0,
+            num_candidates=len(retrieved),
+            num_true_pairs=len(truth),
+            possible_pairs=possible,
+        )
+
+    def recall(self, records: Sequence[Record],
+               candidates: Optional[Sequence[EntityPair]] = None) -> float:
         """Fraction of true matching pairs retained by blocking.
 
-        Ground truth is derived from ``entity_id``; records without an entity
-        id are ignored.  Useful for tuning blockers in the examples.
+        Pass ``candidates`` (a previous :meth:`generate` result) to avoid
+        recomputing blocking from scratch; see :meth:`stats` for the full
+        quality bundle including the reduction ratio.
         """
-        truth: Set[Tuple[str, str]] = set()
-        by_entity: Dict[str, List[Record]] = defaultdict(list)
-        for record in records:
-            if record.entity_id is not None:
-                by_entity[record.entity_id].append(record)
-        for group in by_entity.values():
-            for left, right in combinations(group, 2):
-                if self.cross_source_only and left.source == right.source:
-                    continue
-                truth.add(tuple(sorted((left.record_id, right.record_id))))
-        if not truth:
-            return 1.0
-        retrieved = {tuple(sorted((pair.left.record_id, pair.right.record_id)))
-                     for pair in self.generate(records)}
-        return len(truth & retrieved) / len(truth)
+        return self.stats(records, candidates=candidates).recall

@@ -10,15 +10,17 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from .records import EntityPair, Record
 
 __all__ = [
     "write_records_csv",
     "read_records_csv",
+    "iter_records_csv",
     "write_pairs_jsonl",
     "read_pairs_jsonl",
+    "iter_pairs_jsonl",
     "write_pair_labels_csv",
     "read_pair_labels_csv",
 ]
@@ -56,22 +58,30 @@ def write_records_csv(records: Sequence[Record], path: PathLike) -> Path:
     return path
 
 
-def read_records_csv(path: PathLike) -> List[Record]:
-    """Read records previously written by :func:`write_records_csv`."""
-    records: List[Record] = []
+def iter_records_csv(path: PathLike) -> Iterator[Record]:
+    """Stream records from a CSV written by :func:`write_records_csv`.
+
+    One record is materialised at a time, so corpora larger than memory can
+    be ingested by streaming consumers (e.g. the linkage pipeline's chunked
+    ``ingest`` stage).
+    """
     with Path(path).open("r", newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         for row in reader:
             attributes = {key[len(_ATTRIBUTE_PREFIX):]: value for key, value in row.items()
                           if key.startswith(_ATTRIBUTE_PREFIX)}
-            records.append(Record(
+            yield Record(
                 record_id=row["record_id"],
                 source=row["source"],
                 attributes=attributes,
                 entity_id=row.get("entity_id") or None,
                 entity_type=row.get("entity_type") or None,
-            ))
-    return records
+            )
+
+
+def read_records_csv(path: PathLike) -> List[Record]:
+    """Read records previously written by :func:`write_records_csv` eagerly."""
+    return list(iter_records_csv(path))
 
 
 def write_pairs_jsonl(pairs: Sequence[EntityPair], path: PathLike) -> Path:
@@ -84,15 +94,18 @@ def write_pairs_jsonl(pairs: Sequence[EntityPair], path: PathLike) -> Path:
     return path
 
 
-def read_pairs_jsonl(path: PathLike) -> List[EntityPair]:
-    """Read entity pairs previously written by :func:`write_pairs_jsonl`."""
-    pairs: List[EntityPair] = []
+def iter_pairs_jsonl(path: PathLike) -> Iterator[EntityPair]:
+    """Stream entity pairs from a JSONL file, one pair in memory at a time."""
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                pairs.append(EntityPair.from_dict(json.loads(line)))
-    return pairs
+                yield EntityPair.from_dict(json.loads(line))
+
+
+def read_pairs_jsonl(path: PathLike) -> List[EntityPair]:
+    """Read entity pairs previously written by :func:`write_pairs_jsonl` eagerly."""
+    return list(iter_pairs_jsonl(path))
 
 
 def write_pair_labels_csv(pairs: Sequence[EntityPair], path: PathLike) -> Path:

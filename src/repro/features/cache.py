@@ -93,6 +93,11 @@ class EncodingCache:
         self.misses = 0
         self.evictions = 0
 
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def stats(self) -> Dict[str, int]:
         """Counters for diagnostics and benchmark reports."""
         return {

@@ -15,8 +15,9 @@ Two usage styles are supported:
 
 from __future__ import annotations
 
+from itertools import islice
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -101,6 +102,30 @@ class BatchedPredictor:
     def predict(self, pairs: Sequence[EntityPair], threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 predictions at the given probability threshold."""
         return (self.predict_proba(pairs) >= threshold).astype(np.int64)
+
+    def predict_proba_stream(self, pairs: Iterable[EntityPair], chunk_size: int = 2048
+                             ) -> Iterator[Tuple[List[EntityPair], np.ndarray]]:
+        """Score an arbitrarily large pair stream in bounded chunks.
+
+        Yields ``(chunk, probabilities)`` tuples in stream order; at most
+        ``chunk_size`` pairs are materialised at a time, so candidate streams
+        larger than memory (e.g. from the linkage pipeline's blocking stage)
+        can be scored without ever holding the full pair list.
+        """
+        if chunk_size <= 0:
+            # Validate eagerly — inside the generator body the error would
+            # only surface at the first next(), far from the call site.
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+        def _generate() -> Iterator[Tuple[List[EntityPair], np.ndarray]]:
+            iterator = iter(pairs)
+            while True:
+                chunk = list(islice(iterator, chunk_size))
+                if not chunk:
+                    return
+                yield chunk, self.predict_proba(chunk)
+
+        return _generate()
 
     def attention_scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
         """Attention vectors ``f(x)`` (shape ``(N, F)``), micro-batched."""

@@ -1,0 +1,45 @@
+"""Scalable end-to-end linkage engine: ingest → block → pair → score → cluster.
+
+The model (:mod:`repro.core`) matches *pairs*; a deployment links *corpora*.
+This package provides the surrounding production pipeline:
+
+* :mod:`~repro.pipeline.index` — MinHash-LSH and inverted-token candidate
+  indexes with streaming ``add_records`` ingestion and bucket-size caps;
+* :mod:`~repro.pipeline.candidates` — cross-source candidate generation with
+  recall / pair-reduction statistics against ``entity_id`` ground truth;
+* :mod:`~repro.pipeline.scoring` — chunked scoring through the batched
+  inference engine (:class:`~repro.infer.BatchedPredictor`);
+* :mod:`~repro.pipeline.clustering` — union-find entity resolution with a
+  transitivity-violation report and pairwise cluster metrics;
+* :mod:`~repro.pipeline.engine` — the :class:`LinkagePipeline` orchestrator,
+  also runnable as ``python -m repro.pipeline``.
+"""
+
+from .candidates import (CandidateGenerationStage, CandidateResult,
+                         ground_truth_pairs, possible_cross_source_pairs)
+from .clustering import (ClusteringStage, ClusterResult, UnionFind,
+                         pairwise_cluster_metrics)
+from .engine import LinkagePipeline, PipelineConfig, PipelineResult
+from .index import (InitialsKeyIndex, InvertedTokenIndex, MinHashLSHIndex,
+                    record_tokens)
+from .scoring import ScoredCandidates, ScoringStage
+
+__all__ = [
+    "CandidateGenerationStage",
+    "CandidateResult",
+    "ClusteringStage",
+    "ClusterResult",
+    "InitialsKeyIndex",
+    "InvertedTokenIndex",
+    "LinkagePipeline",
+    "MinHashLSHIndex",
+    "PipelineConfig",
+    "PipelineResult",
+    "ScoredCandidates",
+    "ScoringStage",
+    "UnionFind",
+    "ground_truth_pairs",
+    "pairwise_cluster_metrics",
+    "possible_cross_source_pairs",
+    "record_tokens",
+]

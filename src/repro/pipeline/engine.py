@@ -1,0 +1,206 @@
+"""The end-to-end linkage engine: ingest → block → pair → score → cluster.
+
+:class:`LinkagePipeline` wires the stage objects together, times every stage,
+and bundles the outputs (candidates, scores, clusters, per-stage statistics)
+into a :class:`PipelineResult` that can be written to disk as JSONL/JSON.
+
+Records are ingested from any iterable in bounded chunks, so the streaming
+readers of :mod:`repro.data.storage` plug in directly and the blocking
+indexes never require the pair space — only the records — in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..data.records import Record
+from ..infer.predictor import BatchedPredictor
+from ..utils.serialization import save_json
+from .candidates import CandidateGenerationStage, CandidateResult
+from .clustering import ClusteringStage, ClusterResult
+from .scoring import ScoredCandidates, ScoringStage
+
+__all__ = ["PipelineConfig", "PipelineResult", "LinkagePipeline"]
+
+STAGE_ORDER = ("ingest", "block", "pair", "score", "cluster")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning knobs for every pipeline stage.
+
+    ``blocking_attributes=None`` blocks on every attribute present on each
+    record; restricting it to the identifying attributes (e.g. name/title)
+    reduces candidates at some recall cost.
+    """
+
+    blocking_attributes: Optional[Sequence[str]] = None
+    num_perm: int = 128
+    bands: int = 32
+    lsh_max_bucket_size: int = 8
+    max_postings: int = 8
+    initials_max_bucket_size: int = 16
+    min_token_length: int = 3
+    cross_source_only: bool = True
+    score_threshold: float = 0.5
+    source_consistent: bool = True
+    scoring_chunk_size: int = 2048
+    ingest_chunk_size: int = 2048
+    seed: int = 7
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "blocking_attributes": (list(self.blocking_attributes)
+                                    if self.blocking_attributes is not None else None),
+            "num_perm": self.num_perm,
+            "bands": self.bands,
+            "lsh_max_bucket_size": self.lsh_max_bucket_size,
+            "max_postings": self.max_postings,
+            "initials_max_bucket_size": self.initials_max_bucket_size,
+            "min_token_length": self.min_token_length,
+            "cross_source_only": self.cross_source_only,
+            "score_threshold": self.score_threshold,
+            "source_consistent": self.source_consistent,
+            "scoring_chunk_size": self.scoring_chunk_size,
+            "ingest_chunk_size": self.ingest_chunk_size,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced, plus per-stage timings and stats."""
+
+    records: List[Record]
+    candidates: CandidateResult
+    scored: ScoredCandidates
+    clusters: ClusterResult
+    stage_seconds: Dict[str, float]
+    config: PipelineConfig
+    index_stats: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """The stats payload written as ``stats.json`` / printed by the CLI."""
+        stages: Dict[str, Dict[str, float]] = {}
+        stage_stats = {
+            "ingest": {"num_records": float(len(self.records))},
+            "block": self.index_stats,
+            "pair": self.candidates.stats,
+            "score": self.scored.stats,
+            "cluster": self.clusters.stats,
+        }
+        for name in STAGE_ORDER:
+            entry = {"seconds": round(self.stage_seconds.get(name, 0.0), 4)}
+            entry.update({key: round(float(value), 6) if isinstance(value, float) else value
+                          for key, value in stage_stats[name].items()})
+            stages[name] = entry
+        return {
+            "config": self.config.as_dict(),
+            "stages": stages,
+            "total_seconds": round(sum(self.stage_seconds.values()), 4),
+        }
+
+    def write(self, output_dir: Union[str, Path]) -> Path:
+        """Write clusters (JSONL), matches (JSONL) and stats (JSON) to a directory."""
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        sources = {record.record_id: record.source for record in self.records}
+
+        with (output_dir / "clusters.jsonl").open("w", encoding="utf-8") as handle:
+            for cluster_id, members in enumerate(self.clusters.clusters):
+                handle.write(json.dumps({
+                    "cluster_id": cluster_id,
+                    "size": len(members),
+                    "record_ids": members,
+                    "sources": sorted({sources[record_id] for record_id in members}),
+                }, sort_keys=True) + "\n")
+
+        threshold = self.config.score_threshold
+        with (output_dir / "matches.jsonl").open("w", encoding="utf-8") as handle:
+            for pair, score in zip(self.scored.pairs, self.scored.scores):
+                if score >= threshold:
+                    handle.write(json.dumps({
+                        "left_record_id": pair.left.record_id,
+                        "right_record_id": pair.right.record_id,
+                        "score": round(float(score), 6),
+                    }, sort_keys=True) + "\n")
+
+        save_json(self.summary(), output_dir / "stats.json")
+        return output_dir
+
+
+class LinkagePipeline:
+    """Orchestrate ingest → block → pair → score → cluster over a record stream.
+
+    Parameters
+    ----------
+    predictor:
+        The fitted :class:`~repro.infer.BatchedPredictor` used by the scoring
+        stage.
+    config:
+        Stage tuning knobs; see :class:`PipelineConfig`.
+    """
+
+    def __init__(self, predictor: BatchedPredictor,
+                 config: Optional[PipelineConfig] = None) -> None:
+        self.predictor = predictor
+        self.config = config or PipelineConfig()
+
+    def run(self, records: Iterable[Record]) -> PipelineResult:
+        """Run all five stages over ``records`` (any iterable, consumed once)."""
+        config = self.config
+        seconds: Dict[str, float] = {name: 0.0 for name in STAGE_ORDER}
+        stage = CandidateGenerationStage(
+            attributes=config.blocking_attributes,
+            cross_source_only=config.cross_source_only,
+            num_perm=config.num_perm, bands=config.bands,
+            max_bucket_size=config.lsh_max_bucket_size,
+            max_postings=config.max_postings,
+            initials_max_bucket_size=config.initials_max_bucket_size,
+            min_token_length=config.min_token_length,
+            seed=config.seed,
+        )
+
+        # Ingest + block: pull bounded chunks off the stream, index each one.
+        iterator = iter(records)
+        while True:
+            start = time.perf_counter()
+            chunk: List[Record] = []
+            for record in iterator:
+                chunk.append(record)
+                if len(chunk) >= config.ingest_chunk_size:
+                    break
+            seconds["ingest"] += time.perf_counter() - start
+            if not chunk:
+                break
+            start = time.perf_counter()
+            stage.add_records(chunk)
+            seconds["block"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        candidates = stage.generate()
+        seconds["pair"] = time.perf_counter() - start
+
+        scoring = ScoringStage(self.predictor, chunk_size=config.scoring_chunk_size)
+        start = time.perf_counter()
+        scored = scoring.run(candidates.pairs)
+        seconds["score"] = time.perf_counter() - start
+        if len(scored):
+            scored.stats["pairs_per_second"] = len(scored) / max(seconds["score"], 1e-9)
+
+        clustering = ClusteringStage(threshold=config.score_threshold,
+                                     source_consistent=config.source_consistent)
+        start = time.perf_counter()
+        clusters = clustering.run(stage.records, scored)
+        seconds["cluster"] = time.perf_counter() - start
+
+        return PipelineResult(records=stage.records, candidates=candidates,
+                              scored=scored, clusters=clusters,
+                              stage_seconds=seconds, config=config,
+                              index_stats=stage.index_stats())

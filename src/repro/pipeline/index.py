@@ -1,0 +1,345 @@
+"""Candidate-generation indexes: MinHash-LSH, inverted tokens, initials keys.
+
+Scalable linkage never enumerates all record pairs; it builds *indexes* whose
+buckets group records likely to refer to the same entity (the hashing/canopy
+blocking family the paper cites via Cohen & Richman).  Three complementary
+indexes are provided:
+
+* :class:`InvertedTokenIndex` — exact token overlap.  Every token posts the
+  records containing it; records sharing a (non-stop-word) token become
+  candidates.  High recall when sources agree on at least one rare token.
+* :class:`MinHashLSHIndex` — Jaccard-similar token *sets*.  Records are
+  sketched with vectorized MinHash signatures and banded into buckets, so
+  records sharing many tokens collide even when no single token is rare.
+* :class:`InitialsKeyIndex` — token-initial keys that survive abbreviation,
+  linking "E. B." to "Elliott Bianchi" when no token is shared at all.
+
+Every index ingests incrementally via :meth:`add_records` (streaming-friendly:
+a bulk build is just repeated batched adds and yields the same buckets) and
+caps bucket/posting sizes so stop-word-like keys cannot explode candidate
+counts or memory.  Buckets that overflow their cap are dropped at pair-emission
+time — the standard treatment of blocks dominated by frequent keys.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..data.records import Record
+from ..text.hashing import stable_hash
+from ..text.tokenizer import tokenize
+
+__all__ = ["InitialsKeyIndex", "InvertedTokenIndex", "MinHashLSHIndex", "record_tokens"]
+
+# Modulus for the universal hash family h(x) = (a*x + b) mod p. With a
+# Mersenne prime below 2**31 every operand stays below 2**31, so the uint64
+# products never overflow and the modulo is exact — the family keeps the
+# pairwise-independence property MinHash's collision math relies on.
+_MERSENNE_PRIME = (1 << 31) - 1
+_HASH_RANGE = np.uint64(_MERSENNE_PRIME)
+
+
+def record_tokens(record: Record, attributes: Optional[Sequence[str]] = None,
+                  min_token_length: int = 2) -> List[str]:
+    """The token set of a record over ``attributes`` (default: all present).
+
+    Tokens shorter than ``min_token_length`` are dropped; the token set is
+    returned sorted so that downstream hashing is order-independent.
+    """
+    names = record.attribute_names() if attributes is None else attributes
+    tokens: Set[str] = set()
+    for attribute in names:
+        for token in tokenize(record.value(attribute)):
+            if len(token) >= min_token_length:
+                tokens.add(token)
+    return sorted(tokens)
+
+
+class _BucketedIndex:
+    """Shared scaffolding: record registry, capped buckets, pair emission.
+
+    Subclasses decide which bucket keys a record lands in; this base class
+    owns the record-id/source registry, the overflow-capped membership lists
+    (each list may grow one entry past ``max_bucket_size`` to mark the
+    overflow while bounding memory), and the emission of position pairs from
+    non-overflowed buckets.
+    """
+
+    def __init__(self, max_bucket_size: int) -> None:
+        if max_bucket_size < 2:
+            raise ValueError(f"bucket cap must be >= 2, got {max_bucket_size}")
+        self.max_bucket_size = max_bucket_size
+        self._record_ids: List[str] = []
+        self._sources: List[str] = []
+        self._buckets: Dict[Hashable, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._record_ids)
+
+    @property
+    def record_ids(self) -> List[str]:
+        """Ids of the indexed records, in insertion order."""
+        return list(self._record_ids)
+
+    def _register(self, record: Record) -> int:
+        """Add a record to the registry and return its position."""
+        position = len(self._record_ids)
+        self._record_ids.append(record.record_id)
+        self._sources.append(record.source)
+        return position
+
+    def _bucket_add(self, key: Hashable, position: int) -> None:
+        """Append to a bucket unless it has already overflowed its cap."""
+        bucket = self._buckets.setdefault(key, [])
+        if len(bucket) <= self.max_bucket_size:  # one extra entry marks overflow
+            bucket.append(position)
+
+    def candidate_pairs(self, cross_source_only: bool = False) -> Set[Tuple[int, int]]:
+        """Unordered position pairs sharing a non-overflowed bucket."""
+        pairs: Set[Tuple[int, int]] = set()
+        sources = self._sources
+        for bucket in self._buckets.values():
+            if len(bucket) < 2 or len(bucket) > self.max_bucket_size:
+                continue
+            for left, right in combinations(bucket, 2):
+                if cross_source_only and sources[left] == sources[right]:
+                    continue
+                pairs.add((left, right))
+        return pairs
+
+    def _overflowed(self) -> int:
+        return sum(1 for bucket in self._buckets.values()
+                   if len(bucket) > self.max_bucket_size)
+
+
+class InvertedTokenIndex(_BucketedIndex):
+    """Incremental inverted index from token to the records containing it.
+
+    Parameters
+    ----------
+    attributes:
+        Attributes whose tokens key the index (default: every attribute
+        present on each record).
+    min_token_length:
+        Shorter tokens are ignored (they behave like stop words); values
+        below 1 are treated as 1.
+    max_postings:
+        Posting lists longer than this are treated as stop words: their
+        tokens emit no candidate pairs, and their lists stop growing (one
+        extra entry is kept to mark the overflow).
+    """
+
+    def __init__(self, attributes: Optional[Sequence[str]] = None,
+                 min_token_length: int = 3, max_postings: int = 64) -> None:
+        super().__init__(max_bucket_size=max_postings)
+        self.attributes = list(attributes) if attributes is not None else None
+        self.min_token_length = max(min_token_length, 1)
+
+    @property
+    def max_postings(self) -> int:
+        return self.max_bucket_size
+
+    def add_records(self, records: Iterable[Record]) -> int:
+        """Index a batch of records; returns how many were added."""
+        added = 0
+        for record in records:
+            position = self._register(record)
+            for token in record_tokens(record, self.attributes, self.min_token_length):
+                self._bucket_add(token, position)
+            added += 1
+        return added
+
+    def stats(self) -> Dict[str, int]:
+        """Index size counters for pipeline reports."""
+        return {
+            "records": len(self._record_ids),
+            "tokens": len(self._buckets),
+            "overflowed_tokens": self._overflowed(),
+        }
+
+
+class InitialsKeyIndex(_BucketedIndex):
+    """Blocking keys from token initials, linking abbreviations to full forms.
+
+    Unseen sources abbreviate identifying values ("Elliott Bianchi" becomes
+    "E. B."), leaving *zero* shared tokens for the other indexes to key on —
+    but the initials survive.  For every attribute value the index emits the
+    sorted initials of each token prefix (2 up to ``max_prefix_tokens``
+    tokens), so "Elliott Bianchi", "E. B." and "B. L. (live)" style variants
+    collide regardless of token order or trailing locale noise.
+
+    Keys are attribute-agnostic: a name abbreviated into one attribute still
+    matches the full form stored under another (e.g. ``name`` vs
+    ``name_native_language``).
+
+    Scale caveat: initials keys are inherently low-entropy (only ~350
+    distinct two-token keys exist), so beyond a few thousand records most
+    buckets exceed any sane cap and the index gracefully degrades toward a
+    no-op — this is the information-theoretic floor of abbreviation blocking,
+    not a tuning problem.  Raise ``max_bucket_size`` when abbreviation recall
+    matters more than the quadratic per-bucket candidate cost, or shard the
+    corpus (e.g. by entity type) before indexing.
+    """
+
+    def __init__(self, attributes: Optional[Sequence[str]] = None,
+                 max_prefix_tokens: int = 4, max_bucket_size: int = 64) -> None:
+        if max_prefix_tokens < 2:
+            raise ValueError(f"max_prefix_tokens must be >= 2, got {max_prefix_tokens}")
+        super().__init__(max_bucket_size=max_bucket_size)
+        self.attributes = list(attributes) if attributes is not None else None
+        self.max_prefix_tokens = max_prefix_tokens
+
+    def keys_for_record(self, record: Record) -> Set[str]:
+        """The initials blocking keys of one record."""
+        names = record.attribute_names() if self.attributes is None else self.attributes
+        keys: Set[str] = set()
+        for attribute in names:
+            tokens = [token for token in tokenize(record.value(attribute))
+                      if any(ch.isalnum() for ch in token)]
+            initials = [token[0] for token in tokens]
+            for length in range(2, min(len(initials), self.max_prefix_tokens) + 1):
+                keys.add("".join(sorted(initials[:length])))
+        return keys
+
+    def add_records(self, records: Iterable[Record]) -> int:
+        """Index a batch of records; returns how many were added."""
+        added = 0
+        for record in records:
+            position = self._register(record)
+            for key in self.keys_for_record(record):
+                self._bucket_add(key, position)
+            added += 1
+        return added
+
+    def stats(self) -> Dict[str, int]:
+        """Index size counters for pipeline reports."""
+        return {
+            "records": len(self._record_ids),
+            "keys": len(self._buckets),
+            "overflowed_keys": self._overflowed(),
+        }
+
+
+class MinHashLSHIndex(_BucketedIndex):
+    """Vectorized MinHash signatures banded into LSH buckets.
+
+    Every record's token set is sketched with ``num_perm`` universal-hash
+    minima computed as one numpy reduction per batch; the signature is split
+    into ``bands`` bands whose row values are combined into one bucket key.
+    Records colliding in *any* band become candidates, so recall grows with
+    the number of bands while each band's rows control precision.
+
+    Parameters
+    ----------
+    attributes:
+        Attributes contributing tokens (default: all present per record).
+    num_perm:
+        Number of hash permutations (signature length); must be divisible by
+        ``bands``.
+    bands:
+        Number of LSH bands; ``rows = num_perm // bands`` per band.
+    min_token_length:
+        Shorter tokens are ignored when sketching.
+    max_bucket_size:
+        Buckets beyond this size are stop-word-like and emit no pairs (their
+        member lists also stop growing, bounding memory).
+    seed:
+        Seed of the hash family; two indexes with equal configuration and
+        ingestion order build identical buckets.
+    """
+
+    def __init__(self, attributes: Optional[Sequence[str]] = None, num_perm: int = 128,
+                 bands: int = 32, min_token_length: int = 2, max_bucket_size: int = 64,
+                 seed: int = 7) -> None:
+        if num_perm <= 0 or bands <= 0 or num_perm % bands:
+            raise ValueError(f"num_perm ({num_perm}) must be a positive multiple "
+                             f"of bands ({bands})")
+        super().__init__(max_bucket_size=max_bucket_size)
+        self.attributes = list(attributes) if attributes is not None else None
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self.min_token_length = min_token_length
+        self.seed = seed
+        rng = np.random.default_rng(np.random.SeedSequence([seed, num_perm, bands]))
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        # Token hashes repeat heavily across records; memoised process-locally.
+        self._token_hash_memo: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sketching
+    # ------------------------------------------------------------------ #
+    def _token_hashes(self, record: Record) -> List[int]:
+        memo = self._token_hash_memo
+        hashes: List[int] = []
+        for token in record_tokens(record, self.attributes, self.min_token_length):
+            value = memo.get(token)
+            if value is None:
+                value = stable_hash(token, salt=self.seed) % _MERSENNE_PRIME
+                memo[token] = value
+            hashes.append(value)
+        if not hashes:
+            # An all-empty record must not collide with every other empty
+            # record in every band; give it a unique sentinel "token".
+            hashes.append(stable_hash(f"\x00empty:{record.record_id}", salt=self.seed)
+                          % _MERSENNE_PRIME)
+        return hashes
+
+    def signatures(self, records: Sequence[Record]) -> np.ndarray:
+        """MinHash signatures of ``records`` as a ``(num_perm, N)`` array."""
+        if not records:
+            return np.empty((self.num_perm, 0), dtype=np.uint64)
+        token_lists = [self._token_hashes(record) for record in records]
+        offsets = np.zeros(len(token_lists), dtype=np.int64)
+        offsets[1:] = np.cumsum([len(hashes) for hashes in token_lists])[:-1]
+        flat = np.fromiter((value for hashes in token_lists for value in hashes),
+                           dtype=np.uint64,
+                           count=sum(len(hashes) for hashes in token_lists))
+        # (P, T) permuted hashes -> per-record minima along the token axis.
+        permuted = (self._a[:, None] * flat[None, :] + self._b[:, None]) % _HASH_RANGE
+        return np.minimum.reduceat(permuted, offsets, axis=1)
+
+    def _band_keys(self, signatures: np.ndarray) -> np.ndarray:
+        """Combine each band's rows into one integer key per record: (bands, N).
+
+        Polynomial hash over the band's rows; ``combined < 2**31`` and the
+        mixer is below 2**20, so the uint64 products are exact.
+        """
+        keys = np.empty((self.bands, signatures.shape[1]), dtype=np.uint64)
+        mixer = np.uint64(1_000_003)
+        for band in range(self.bands):
+            block = signatures[band * self.rows:(band + 1) * self.rows]
+            combined = block[0].copy()
+            for row in block[1:]:
+                combined = (combined * mixer + row) % _HASH_RANGE
+            keys[band] = combined
+        return keys
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def add_records(self, records: Iterable[Record]) -> int:
+        """Sketch and bucket a batch of records; returns how many were added."""
+        batch = list(records)
+        if not batch:
+            return 0
+        keys = self._band_keys(self.signatures(batch))
+        for i, record in enumerate(batch):
+            position = self._register(record)
+            for band in range(self.bands):
+                self._bucket_add((band, int(keys[band, i])), position)
+        return len(batch)
+
+    def stats(self) -> Dict[str, int]:
+        """Index size counters for pipeline reports."""
+        return {
+            "records": len(self._record_ids),
+            "buckets": len(self._buckets),
+            "overflowed_buckets": self._overflowed(),
+            "bands": self.bands,
+            "rows": self.rows,
+        }

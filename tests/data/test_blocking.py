@@ -1,0 +1,106 @@
+"""Tests for the blocking front end (caps, dedupe, reusable recall stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    AttributeEqualityBlocker,
+    BlockingStats,
+    CandidateGenerator,
+    TokenBlocker,
+)
+from repro.data.records import Record
+
+
+def _record(record_id, source, name, entity_id=None):
+    return Record(record_id=record_id, source=source,
+                  attributes={"name": name}, entity_id=entity_id)
+
+
+class TestAttributeEqualityBlocker:
+    def test_equal_values_pair_up(self):
+        records = [_record("a", "s1", "Neil Diamond"),
+                   _record("b", "s2", "neil  DIAMOND"),
+                   _record("c", "s3", "Neil Young")]
+        pairs = AttributeEqualityBlocker("name").candidate_pairs(records)
+        assert [(left.record_id, right.record_id) for left, right in pairs] == [("a", "b")]
+
+    def test_max_block_size_caps_giant_equality_blocks(self):
+        # One degenerate value shared by everything must not emit O(n^2) pairs.
+        records = [_record(f"r{i}", f"s{i}", "the same value") for i in range(40)]
+        blocker = AttributeEqualityBlocker("name")
+        assert blocker.candidate_pairs(records, max_block_size=10) == []
+        assert len(blocker.candidate_pairs(records, max_block_size=64)) == 40 * 39 // 2
+
+    def test_pairs_are_deduplicated_by_record_id(self):
+        records = [_record("a", "s1", "same"), _record("b", "s2", "same"),
+                   _record("a", "s1", "same")]
+        pairs = AttributeEqualityBlocker("name").candidate_pairs(records)
+        keys = [tuple(sorted((left.record_id, right.record_id))) for left, right in pairs]
+        assert len(keys) == len(set(keys))
+
+
+class TestTokenBlockerDelegation:
+    def test_degenerate_max_block_size_returns_no_pairs(self):
+        records = [_record("a", "s1", "shared token"), _record("b", "s2", "shared token")]
+        assert TokenBlocker("name").candidate_pairs(records, max_block_size=1) == []
+
+    def test_min_token_length_zero_still_works(self):
+        # Seed behavior: 0 means "keep every token" (identical to 1).
+        records = [_record("a", "s1", "x y"), _record("b", "s2", "x z")]
+        pairs = TokenBlocker("name", min_token_length=0).candidate_pairs(records)
+        assert [(left.record_id, right.record_id) for left, right in pairs] == [("a", "b")]
+
+    def test_matches_block_semantics(self, tiny_music_corpus):
+        records = tiny_music_corpus.records
+        blocker = TokenBlocker("name")
+        pairs = blocker.candidate_pairs(records, max_block_size=50)
+        keys = {tuple(sorted((left.record_id, right.record_id))) for left, right in pairs}
+        # Reference: enumerate blocks directly.
+        expected = set()
+        for block in blocker.blocks(records).values():
+            if len(block) > 50:
+                continue
+            for i in range(len(block)):
+                for j in range(i + 1, len(block)):
+                    expected.add(tuple(sorted((block[i].record_id, block[j].record_id))))
+        assert keys == expected
+
+
+class TestCandidateGeneratorStats:
+    @pytest.fixture()
+    def generator(self):
+        return CandidateGenerator([TokenBlocker("name")])
+
+    @pytest.fixture()
+    def records(self):
+        return [
+            _record("a1", "s1", "neil diamond", entity_id="e1"),
+            _record("a2", "s2", "neil diamond", entity_id="e1"),
+            _record("b1", "s1", "aretha franklin", entity_id="e2"),
+            _record("b2", "s2", "aretha franklin", entity_id="e2"),
+            _record("c1", "s1", "completely unrelated", entity_id="e3"),
+            _record("c2", "s2", "something else", entity_id="e3"),
+        ]
+
+    def test_precomputed_candidates_avoid_regeneration(self, generator, records):
+        candidates = generator.generate(records)
+        stats = generator.stats(records, candidates=candidates)
+        assert stats == generator.stats(records)
+        assert generator.recall(records, candidates=candidates) == stats.recall
+
+    def test_stats_fields(self, generator, records):
+        stats = generator.stats(records)
+        assert isinstance(stats, BlockingStats)
+        # e1 and e2 pairs are found, e3's is not: recall 2/3.
+        assert stats.recall == pytest.approx(2 / 3)
+        assert stats.num_true_pairs == 3
+        assert stats.num_candidates == 2
+        # 3 records per source => 9 cross-source pairs.
+        assert stats.possible_pairs == 9
+        assert stats.reduction_ratio == pytest.approx(2 / 9)
+        assert stats.pair_reduction_factor == pytest.approx(9 / 2)
+
+    def test_recall_keeps_float_contract(self, generator, records):
+        assert isinstance(generator.recall(records), float)

@@ -235,3 +235,22 @@ class TestStorage:
         path = write_pair_labels_csv(pairs, tmp_path / "labels.csv")
         with pytest.raises(KeyError):
             read_pair_labels_csv(path, records=[])
+
+    def test_iter_records_csv_streams_lazily(self, tmp_path, tiny_music_corpus):
+        from repro.data import iter_records_csv
+
+        records = tiny_music_corpus.records[:10]
+        path = write_records_csv(records, tmp_path / "records.csv")
+        stream = iter_records_csv(path)
+        assert iter(stream) is stream  # a generator, not a materialised list
+        assert next(stream) == records[0]
+        assert list(stream) == records[1:]
+
+    def test_iter_pairs_jsonl_streams_lazily(self, tmp_path, tiny_music_corpus):
+        from repro.data import iter_pairs_jsonl
+
+        pairs = tiny_music_corpus.pairs[:10]
+        path = write_pairs_jsonl(pairs, tmp_path / "pairs.jsonl")
+        stream = iter_pairs_jsonl(path)
+        assert iter(stream) is stream
+        assert list(stream) == pairs

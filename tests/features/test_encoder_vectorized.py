@@ -84,6 +84,16 @@ class TestEncodingCache:
         assert np.array_equal(cold.features, warm.features)
         assert np.array_equal(cold.feature_mask, warm.feature_mask)
 
+    def test_hit_rate(self, scenario_pairs):
+        schema, pairs = scenario_pairs
+        cache = EncodingCache()
+        assert cache.hit_rate() == 0.0
+        encoder = make_encoder(schema, cache=cache)
+        encoder.encode(pairs)
+        assert cache.hit_rate() == 0.0
+        encoder.encode(pairs)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
     def test_cache_shared_across_encoder_instances(self, scenario_pairs):
         """Fresh encoders with the same configuration reuse cached rows."""
         schema, pairs = scenario_pairs

@@ -1,0 +1,149 @@
+"""Tests for union-find entity resolution and cluster quality metrics."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data.records import EntityPair, Record
+from repro.pipeline import ClusteringStage, UnionFind, pairwise_cluster_metrics
+from repro.pipeline.scoring import ScoredCandidates
+
+
+def _record(record_id, source, entity_id=None):
+    return Record(record_id=record_id, source=source,
+                  attributes={"name": record_id}, entity_id=entity_id)
+
+
+def _scored(records, edges):
+    """Build ScoredCandidates from (left_id, right_id, score) triples."""
+    by_id = {record.record_id: record for record in records}
+    pairs = [EntityPair(left=by_id[left], right=by_id[right], label=None)
+             for left, right, _ in edges]
+    scores = np.array([score for _, _, score in edges], dtype=np.float64)
+    return ScoredCandidates(pairs=pairs, scores=scores)
+
+
+class TestUnionFind:
+    def test_groups_are_connected_components(self):
+        union_find = UnionFind(["a", "b", "c", "d", "e"])
+        union_find.union("a", "b")
+        union_find.union("b", "c")
+        assert union_find.groups() == [["a", "b", "c"], ["d"], ["e"]]
+        assert union_find.connected("a", "c")
+        assert not union_find.connected("a", "d")
+
+    def test_union_returns_whether_components_merged(self):
+        union_find = UnionFind()
+        assert union_find.union("a", "b") is True
+        assert union_find.union("a", "b") is False
+
+    def test_order_invariance(self):
+        """The canonical groups never depend on item or edge ordering."""
+        items = [f"r{i}" for i in range(30)]
+        edges = [(f"r{i}", f"r{i + 1}") for i in range(0, 28, 3)]
+        edges += [(f"r{i}", f"r{i + 2}") for i in range(0, 27, 9)]
+        reference = None
+        rng = random.Random(0)
+        for _ in range(5):
+            shuffled_items = items[:]
+            shuffled_edges = edges[:]
+            rng.shuffle(shuffled_items)
+            rng.shuffle(shuffled_edges)
+            union_find = UnionFind(shuffled_items)
+            for left, right in shuffled_edges:
+                union_find.union(left, right)
+            groups = union_find.groups()
+            if reference is None:
+                reference = groups
+            assert groups == reference
+
+
+class TestPairwiseClusterMetrics:
+    def test_perfect_clustering(self):
+        assignments = {"a": 0, "b": 0, "c": 1, "d": 1}
+        truth = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        metrics = pairwise_cluster_metrics(assignments, truth)
+        assert metrics["pairwise_precision"] == 1.0
+        assert metrics["pairwise_recall"] == 1.0
+        assert metrics["pairwise_f1"] == 1.0
+
+    def test_one_merge_error(self):
+        # Everything in one cluster: recall perfect, precision 2/6.
+        assignments = {"a": 0, "b": 0, "c": 0, "d": 0}
+        truth = {"a": "x", "b": "x", "c": "y", "d": "y"}
+        metrics = pairwise_cluster_metrics(assignments, truth)
+        assert metrics["pairwise_recall"] == 1.0
+        assert metrics["pairwise_precision"] == pytest.approx(2 / 6)
+
+    def test_records_without_truth_are_ignored(self):
+        assignments = {"a": 0, "b": 0, "z": 0}
+        truth = {"a": "x", "b": "x"}
+        metrics = pairwise_cluster_metrics(assignments, truth)
+        assert metrics["evaluated_records"] == 2.0
+        assert metrics["pairwise_precision"] == 1.0
+
+
+class TestClusteringStage:
+    def test_thresholded_connected_components(self):
+        records = [_record("a", "s1"), _record("b", "s2"),
+                   _record("c", "s3"), _record("d", "s4")]
+        scored = _scored(records, [("a", "b", 0.9), ("b", "c", 0.8), ("c", "d", 0.2)])
+        result = ClusteringStage(threshold=0.5).run(records, scored)
+        assert result.clusters == [["a", "b", "c"], ["d"]]
+        assert result.stats["num_singletons"] == 1.0
+
+    def test_transitivity_violations_reported(self):
+        records = [_record("a", "s1"), _record("b", "s2"), _record("c", "s3")]
+        # a-b and b-c merge, but the model rejected a-c: one violation.
+        scored = _scored(records, [("a", "b", 0.9), ("b", "c", 0.8), ("a", "c", 0.1)])
+        result = ClusteringStage(threshold=0.5).run(records, scored)
+        assert result.clusters == [["a", "b", "c"]]
+        assert result.violations == [("a", "c", 0.1)]
+        assert result.stats["transitivity_violations"] == 1.0
+        assert result.stats["transitivity_violation_rate"] == 1.0
+
+    def test_source_consistency_vetoes_same_source_merges(self):
+        records = [_record("a", "s1"), _record("b", "s2"), _record("c", "s1")]
+        # b matches both a and c, but a and c share a source; the higher
+        # scoring edge wins and the weaker merge is vetoed.
+        scored = _scored(records, [("a", "b", 0.9), ("b", "c", 0.8)])
+        result = ClusteringStage(threshold=0.5).run(records, scored)
+        assert result.clusters == [["a", "b"], ["c"]]
+        assert result.stats["source_conflicts"] == 1.0
+        relaxed = ClusteringStage(threshold=0.5, source_consistent=False).run(records, scored)
+        assert relaxed.clusters == [["a", "b", "c"]]
+
+    def test_edge_order_invariance(self):
+        records = [_record(f"r{i}", f"s{i}") for i in range(8)]
+        edges = [("r0", "r1", 0.95), ("r1", "r2", 0.8), ("r3", "r4", 0.7),
+                 ("r4", "r5", 0.9), ("r6", "r7", 0.3), ("r2", "r3", 0.4)]
+        reference = None
+        rng = random.Random(1)
+        for _ in range(5):
+            shuffled = edges[:]
+            rng.shuffle(shuffled)
+            result = ClusteringStage(threshold=0.5).run(records, _scored(records, shuffled))
+            if reference is None:
+                reference = result.clusters
+            assert result.clusters == reference
+
+    def test_ground_truth_metrics_when_entity_ids_present(self):
+        records = [_record("a", "s1", "x"), _record("b", "s2", "x"),
+                   _record("c", "s3", "y"), _record("d", "s4", "y")]
+        scored = _scored(records, [("a", "b", 0.9), ("c", "d", 0.9)])
+        result = ClusteringStage(threshold=0.5).run(records, scored)
+        assert result.stats["pairwise_f1"] == 1.0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ClusteringStage(threshold=1.5)
+
+    def test_scored_pairs_outside_record_set_rejected(self):
+        records = [_record("a", "s1"), _record("b", "s2")]
+        stranger = _record("z", "s3")
+        scored = _scored(records + [stranger], [("a", "z", 0.9)])
+        with pytest.raises(ValueError, match="not in `records`"):
+            ClusteringStage().run(records, scored)

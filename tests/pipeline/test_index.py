@@ -1,0 +1,172 @@
+"""Tests for the candidate-generation indexes (MinHash-LSH, inverted, initials)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import TokenBlocker
+from repro.data.records import Record
+from repro.pipeline import (
+    CandidateGenerationStage,
+    InitialsKeyIndex,
+    InvertedTokenIndex,
+    MinHashLSHIndex,
+    ground_truth_pairs,
+    record_tokens,
+)
+
+
+def _record(record_id, source, name, extra=""):
+    return Record(record_id=record_id, source=source,
+                  attributes={"name": name, "notes": extra})
+
+
+def _id_pairs(index, cross_source_only=False):
+    ids = index.record_ids
+    return {tuple(sorted((ids[left], ids[right])))
+            for left, right in index.candidate_pairs(cross_source_only=cross_source_only)}
+
+
+class TestRecordTokens:
+    def test_filters_short_tokens_and_sorts(self):
+        record = _record("r1", "s1", "Neil Diamond in NY")
+        assert record_tokens(record, min_token_length=3) == ["diamond", "neil"]
+
+    def test_respects_attribute_selection(self):
+        record = _record("r1", "s1", "Neil Diamond", extra="remastered")
+        assert record_tokens(record, attributes=["notes"]) == ["remastered"]
+
+
+class TestInvertedTokenIndex:
+    def test_shared_token_pairs(self):
+        index = InvertedTokenIndex()
+        index.add_records([
+            _record("a", "s1", "neil diamond"),
+            _record("b", "s2", "neil young"),
+            _record("c", "s3", "aretha franklin"),
+        ])
+        assert _id_pairs(index) == {("a", "b")}
+
+    def test_cross_source_only_drops_same_source(self):
+        index = InvertedTokenIndex()
+        index.add_records([
+            _record("a", "s1", "neil diamond"),
+            _record("b", "s1", "neil young"),
+        ])
+        assert _id_pairs(index, cross_source_only=True) == set()
+        assert _id_pairs(index) == {("a", "b")}
+
+    def test_stop_word_postings_emit_no_pairs(self):
+        index = InvertedTokenIndex(max_postings=3)
+        index.add_records([_record(f"r{i}", f"s{i}", "common stopword") for i in range(6)])
+        assert _id_pairs(index) == set()
+        assert index.stats()["overflowed_tokens"] == 2
+
+    def test_incremental_add_equals_bulk_build(self, tiny_music_corpus):
+        records = tiny_music_corpus.records
+        bulk = InvertedTokenIndex()
+        bulk.add_records(records)
+        incremental = InvertedTokenIndex()
+        for start in range(0, len(records), 7):
+            incremental.add_records(records[start:start + 7])
+        assert _id_pairs(incremental) == _id_pairs(bulk)
+
+
+class TestMinHashLSHIndex:
+    def test_near_duplicates_collide(self):
+        index = MinHashLSHIndex(num_perm=64, bands=16)
+        index.add_records([
+            _record("a", "s1", "the dark side of the moon remastered edition"),
+            _record("b", "s2", "the dark side of the moon remastered"),
+            _record("c", "s3", "completely different words entirely here"),
+        ])
+        pairs = _id_pairs(index)
+        assert ("a", "b") in pairs
+        assert ("a", "c") not in pairs and ("b", "c") not in pairs
+
+    def test_incremental_add_equals_bulk_build(self, tiny_music_corpus):
+        records = tiny_music_corpus.records
+        bulk = MinHashLSHIndex(num_perm=64, bands=16)
+        bulk.add_records(records)
+        incremental = MinHashLSHIndex(num_perm=64, bands=16)
+        for start in range(0, len(records), 5):
+            incremental.add_records(records[start:start + 5])
+        assert _id_pairs(incremental) == _id_pairs(bulk)
+
+    def test_signatures_deterministic_across_instances(self, tiny_music_corpus):
+        records = tiny_music_corpus.records[:10]
+        first = MinHashLSHIndex(num_perm=32, bands=8).signatures(records)
+        second = MinHashLSHIndex(num_perm=32, bands=8).signatures(records)
+        assert (first == second).all()
+
+    def test_empty_records_do_not_collide(self):
+        index = MinHashLSHIndex(num_perm=32, bands=8)
+        index.add_records([
+            Record(record_id="a", source="s1", attributes={"name": ""}),
+            Record(record_id="b", source="s2", attributes={"name": ""}),
+        ])
+        assert _id_pairs(index) == set()
+
+    def test_overflowed_buckets_emit_no_pairs(self):
+        index = MinHashLSHIndex(num_perm=32, bands=8, max_bucket_size=3)
+        index.add_records([_record(f"r{i}", f"s{i}", "identical text value")
+                           for i in range(6)])
+        assert _id_pairs(index) == set()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            MinHashLSHIndex(num_perm=10, bands=3)
+
+
+class TestInitialsKeyIndex:
+    def test_abbreviation_matches_full_form(self):
+        index = InitialsKeyIndex()
+        index.add_records([
+            _record("a", "s1", "Elliott Bianchi"),
+            _record("b", "s2", "E. B."),
+            _record("c", "s3", "Quincy Zane"),
+        ])
+        assert _id_pairs(index) == {("a", "b")}
+
+    def test_token_order_is_irrelevant(self):
+        index = InitialsKeyIndex()
+        index.add_records([
+            _record("a", "s1", "B. L."),
+            _record("b", "s2", "Louis Bowie"),
+        ])
+        assert _id_pairs(index) == {("a", "b")}
+
+    def test_trailing_noise_is_tolerated(self):
+        index = InitialsKeyIndex()
+        index.add_records([
+            _record("a", "s1", "F. G. musicien"),
+            _record("b", "s2", "Freddie Gaye"),
+        ])
+        assert _id_pairs(index) == {("a", "b")}
+
+
+class TestLSHRecallVsTokenBlocker:
+    def test_index_union_beats_token_blocker_at_equal_budget(self, tiny_music_corpus):
+        """The index union must dominate single-attribute token blocking:
+        at least as much recall from at most as many candidates."""
+        records = tiny_music_corpus.records
+        truth = ground_truth_pairs(records)
+        assert truth
+
+        blocker = TokenBlocker("name")
+        blocker_pairs = {
+            tuple(sorted((left.record_id, right.record_id)))
+            for left, right in blocker.candidate_pairs(records, max_block_size=50)
+            if left.source != right.source
+        }
+
+        stage = CandidateGenerationStage()
+        stage.add_records(records)
+        result = stage.generate()
+        stage_pairs = {tuple(sorted((pair.left.record_id, pair.right.record_id)))
+                       for pair in result.pairs}
+
+        stage_recall = len(truth & stage_pairs) / len(truth)
+        blocker_recall = len(truth & blocker_pairs) / len(truth)
+        assert stage_recall >= blocker_recall
+        assert stage_recall >= 0.95
