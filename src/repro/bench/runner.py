@@ -47,7 +47,7 @@ from ..text.tokenizer import Tokenizer, _tokenize_cached
 
 __all__ = ["BENCH_SCHEMA_VERSION", "BenchStage", "STAGES", "select_scale",
            "select_seed", "run_suite", "check_regressions", "find_regressions",
-           "list_stages"]
+           "list_stages", "summarize_latency_samples"]
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -250,6 +250,61 @@ def _stage_table7(scale: ExperimentScale, seed: int) -> None:
                scale=scale, seed=seed)
 
 
+def _stage_serve_online(scale: ExperimentScale, seed: int) -> Dict[str, object]:
+    """Online serving on Music-3K: streamed upserts, then concurrent queries.
+
+    Ingest replays a shuffled record stream through ``EntityStore.upsert``
+    (sequential — batch parity is defined over one input order), queries
+    replay the same records from 4 concurrent workers through the
+    deadline-bounded coalescer.  Raw per-request latency samples are returned
+    under ``*_latency_samples`` keys; :func:`run_suite` folds them into
+    p50/p95/p99 percentiles.  ``batch_parity`` is 1.0 when the streamed
+    clusters equal one batch ``LinkagePipeline.run`` over the same order.
+    """
+    from ..core.variants import create_variant
+    from ..infer.predictor import BatchedPredictor
+    from ..pipeline import LinkagePipeline
+    from ..serve import (LinkageService, ServiceConfig, StoreConfig,
+                         replay_queries, replay_upserts)
+
+    corpus = build_corpus("music3k", "artist", scale=scale, seed=seed)
+    scenario = build_scenario("music3k", "artist", mode="overlapping",
+                              scale=scale, seed=seed)
+    model = create_variant("adamel-hyb", scale.adamel_config(epochs=min(scale.adamel_epochs, 10)))
+    model.fit(scenario)
+    predictor = BatchedPredictor.from_trainer(model)
+
+    records = list(corpus.records)
+    np.random.default_rng(seed).shuffle(records)
+    store_config = StoreConfig()
+    service_config = ServiceConfig(max_batch_size=32, max_wait_ms=2.0)
+    with LinkageService(predictor, store_config=store_config,
+                        service_config=service_config) as service:
+        ingest = replay_upserts(service, records)
+        queries = replay_queries(service, records, num_workers=4)
+        coalescer = service.coalescer.stats()
+        store_stats = service.store.stats()
+        online_clusters = service.store.clusters()
+    batch = LinkagePipeline(predictor,
+                            config=store_config.to_pipeline_config()).run(records)
+    return {
+        "num_records": float(len(records)),
+        "num_entities": store_stats["entities"],
+        "pairs_scored_online": store_stats["pairs_scored"],
+        "upserts_per_second": ingest.throughput,
+        "queries_per_second": queries.throughput,
+        "query_workers": float(queries.num_workers),
+        "query_errors": float(queries.errors),
+        "coalesced_batches": coalescer["batches"],
+        "mean_batch_pairs": coalescer["mean_batch_pairs"],
+        "deadline_flushes": coalescer["deadline_flushes"],
+        "size_flushes": coalescer["size_flushes"],
+        "batch_parity": float(online_clusters == batch.clusters.clusters),
+        "upsert_latency_samples": ingest.latencies,
+        "query_latency_samples": queries.latencies,
+    }
+
+
 def _stage_pipeline_end_to_end(scale: ExperimentScale, seed: int) -> Dict[str, float]:
     """Full linkage engine on Music-3K: train, then ingest→block→score→cluster."""
     from ..core.variants import create_variant
@@ -294,6 +349,8 @@ STAGES: Tuple[BenchStage, ...] = (
     BenchStage("table7", "Table 7 single-domain benchmarks", _stage_table7),
     BenchStage("pipeline_end_to_end", "end-to-end linkage engine (Music-3K)",
                _stage_pipeline_end_to_end),
+    BenchStage("serve_online", "online linkage service latency (Music-3K)",
+               _stage_serve_online),
 )
 
 _STAGES_BY_NAME = {stage.name: stage for stage in STAGES}
@@ -307,6 +364,31 @@ def list_stages() -> List[Tuple[str, str]]:
 # --------------------------------------------------------------------------- #
 # Suite execution
 # --------------------------------------------------------------------------- #
+def summarize_latency_samples(extras: Dict[str, object]) -> Dict[str, float]:
+    """Fold raw latency samples into per-stage p50/p95/p99 percentiles.
+
+    A stage may return per-request latency *samples* (seconds) under keys
+    ending in ``_latency_samples``; the snapshot should record the latency
+    distribution, not a raw array, so each such key is replaced by
+    ``<prefix>_latency_{p50,p95,p99}_ms`` plus a ``<prefix>_latency_count``.
+    All other entries pass through unchanged, so stages without samples (and
+    the ``--check`` gate, which only reads ``seconds``) are unaffected.
+    """
+    from ..serve.loadgen import latency_percentiles
+
+    summarized: Dict[str, float] = {}
+    for key, value in extras.items():
+        if not key.endswith("_latency_samples"):
+            summarized[key] = value  # type: ignore[assignment]
+            continue
+        prefix = key[:-len("_samples")]
+        samples = list(value)  # type: ignore[arg-type]
+        for name, seconds in latency_percentiles(samples).items():
+            summarized[f"{prefix}_{name}_ms"] = float(seconds) * 1000.0
+        summarized[f"{prefix}_count"] = float(len(samples))
+    return summarized
+
+
 def run_suite(scale_name: Optional[str] = None, seed: Optional[int] = None,
               stages: Optional[Sequence[str]] = None,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
@@ -332,7 +414,8 @@ def run_suite(scale_name: Optional[str] = None, seed: Optional[int] = None,
         seconds = time.perf_counter() - start
         entry: Dict[str, float] = {"seconds": round(seconds, 4)}
         if extras:
-            entry.update({key: round(float(value), 4) for key, value in extras.items()})
+            entry.update({key: round(float(value), 4)
+                          for key, value in summarize_latency_samples(extras).items()})
         results[stage.name] = entry
         total += seconds
         if progress is not None:

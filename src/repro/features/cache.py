@@ -15,6 +15,7 @@ record ids generated under different corpus seeds) therefore never collide.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
@@ -31,6 +32,12 @@ CacheEntry = Tuple[np.ndarray, np.ndarray]  # (features (F, D), mask (F,))
 class EncodingCache:
     """Byte-bounded LRU cache of per-pair encoded features.
 
+    All operations are thread-safe: concurrent serve workers share the
+    process-wide cache, and the LRU reordering, byte-budget eviction and
+    hit/miss counters are guarded by one internal lock.  The cached arrays
+    themselves are immutable (write flag cleared), so handing the same entry
+    to several threads is safe.
+
     Parameters
     ----------
     max_bytes:
@@ -42,6 +49,7 @@ class EncodingCache:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self.current_bytes = 0
         self.hits = 0
@@ -49,64 +57,72 @@ class EncodingCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def lookup(self, key: CacheKey) -> Optional[CacheEntry]:
         """Return the cached ``(features, mask)`` for ``key`` or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: CacheKey, features: np.ndarray, mask: np.ndarray) -> None:
         """Insert a pair's encoded arrays (copied, so later mutation of the
         batch the arrays were sliced from cannot corrupt the cache)."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
+        # Copy outside the lock — only the structure mutation needs it.
         features = np.array(features, dtype=np.float64, copy=True)
         mask = np.array(mask, dtype=np.float64, copy=True)
         features.setflags(write=False)
         mask.setflags(write=False)
         nbytes = features.nbytes + mask.nbytes
-        if nbytes > self.max_bytes:
-            # An entry that can never fit must not flush the whole cache.
-            return
-        while self._entries and self.current_bytes + nbytes > self.max_bytes:
-            _, (old_features, old_mask) = self._entries.popitem(last=False)
-            self.current_bytes -= old_features.nbytes + old_mask.nbytes
-            self.evictions += 1
-        self._entries[key] = (features, mask)
-        self.current_bytes += nbytes
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            if nbytes > self.max_bytes:
+                # An entry that can never fit must not flush the whole cache.
+                return
+            while self._entries and self.current_bytes + nbytes > self.max_bytes:
+                _, (old_features, old_mask) = self._entries.popitem(last=False)
+                self.current_bytes -= old_features.nbytes + old_mask.nbytes
+                self.evictions += 1
+            self._entries[key] = (features, mask)
+            self.current_bytes += nbytes
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.current_bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 before any lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, int]:
         """Counters for diagnostics and benchmark reports."""
-        return {
-            "entries": len(self._entries),
-            "bytes": self.current_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:
         return (f"EncodingCache(entries={len(self._entries)}, "

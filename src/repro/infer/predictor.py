@@ -15,6 +15,7 @@ Two usage styles are supported:
 
 from __future__ import annotations
 
+import threading
 from itertools import islice
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -28,9 +29,20 @@ from ..features.encoder import PairEncoder
 from ..nn import no_grad
 from .serialization import load_model
 
-__all__ = ["BatchedPredictor"]
+__all__ = ["BatchedPredictor", "PredictorQueueFull"]
 
 DEFAULT_MICRO_BATCH_SIZE = 256
+
+
+class PredictorQueueFull(RuntimeError):
+    """A ``submit`` would grow the request queue past ``max_queue_size``.
+
+    Raised instead of enqueueing, so the queue (and every slice handed out by
+    earlier ``submit`` calls) is left untouched.  Either ``flush()`` first,
+    raise ``max_queue_size``, or enable ``auto_flush`` so the predictor
+    scores the backlog eagerly instead of rejecting requests (with
+    ``auto_flush`` enabled this error can no longer occur).
+    """
 
 
 class BatchedPredictor:
@@ -45,15 +57,53 @@ class BatchedPredictor:
         Maximum number of pairs per fused forward pass.  Batched predictions
         are numerically equal to one-by-one predictions; micro-batching only
         bounds peak memory while keeping the forward pass fused.
+    max_queue_size:
+        Hard cap on the number of *unscored* queued requests.  Without
+        ``auto_flush``, a ``submit`` that would exceed it raises
+        :class:`PredictorQueueFull` and enqueues nothing.  With ``auto_flush``
+        set, overflow cannot occur — every submit that reaches the threshold
+        scores the backlog down to zero, so the persistent backlog stays
+        below ``auto_flush`` (validated ``<= max_queue_size``) and the cap is
+        a documentation of the bound rather than a rejection path.  ``None``
+        (the default) keeps the queue unbounded, as before.
+    auto_flush:
+        When the unscored backlog reaches this many pairs, ``submit`` scores
+        it eagerly and buffers the probabilities, so the queue of raw pair
+        objects stays bounded while the slices returned by earlier ``submit``
+        calls remain valid: ``flush()`` still returns every request since the
+        last flush, in submission order.  ``None`` disables eager scoring.
+
+    Queue bookkeeping (``submit`` / ``flush`` / ``pending``) is guarded by an
+    internal lock.  The forward pass itself is **not** re-entrant (autograd
+    mode is process-wide), so concurrent ``predict_proba`` calls from several
+    threads must be serialized by the caller — see
+    :class:`repro.serve.RequestCoalescer`, which funnels all scoring through
+    one executor thread.
     """
 
-    def __init__(self, encoder: PairEncoder, network, micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE) -> None:
+    def __init__(self, encoder: PairEncoder, network,
+                 micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE,
+                 max_queue_size: Optional[int] = None,
+                 auto_flush: Optional[int] = None) -> None:
         if micro_batch_size <= 0:
             raise ValueError(f"micro_batch_size must be positive, got {micro_batch_size}")
+        if max_queue_size is not None and max_queue_size <= 0:
+            raise ValueError(f"max_queue_size must be positive, got {max_queue_size}")
+        if auto_flush is not None and auto_flush <= 0:
+            raise ValueError(f"auto_flush must be positive, got {auto_flush}")
+        if (auto_flush is not None and max_queue_size is not None
+                and auto_flush > max_queue_size):
+            raise ValueError(f"auto_flush ({auto_flush}) must not exceed "
+                             f"max_queue_size ({max_queue_size})")
         self.encoder = encoder
         self.network = network
         self.micro_batch_size = micro_batch_size
+        self.max_queue_size = max_queue_size
+        self.auto_flush = auto_flush
         self._queue: List[EntityPair] = []
+        self._buffered: List[np.ndarray] = []
+        self._buffered_count = 0
+        self._queue_lock = threading.RLock()
         self.requests_served = 0
         self.batches_run = 0
 
@@ -62,18 +112,24 @@ class BatchedPredictor:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_trainer(cls, trainer: AdaMELTrainer,
-                     micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE) -> "BatchedPredictor":
+                     micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE,
+                     max_queue_size: Optional[int] = None,
+                     auto_flush: Optional[int] = None) -> "BatchedPredictor":
         """Wrap a fitted trainer without copying its model."""
         if trainer.network is None or trainer.encoder is None:
             raise ValueError("the trainer must be fitted before wrapping it")
-        return cls(trainer.encoder, trainer.network, micro_batch_size=micro_batch_size)
+        return cls(trainer.encoder, trainer.network, micro_batch_size=micro_batch_size,
+                   max_queue_size=max_queue_size, auto_flush=auto_flush)
 
     @classmethod
     def load(cls, path: Union[str, Path], micro_batch_size: int = DEFAULT_MICRO_BATCH_SIZE,
-             cache: Optional[EncodingCache] = None) -> "BatchedPredictor":
+             cache: Optional[EncodingCache] = None,
+             max_queue_size: Optional[int] = None,
+             auto_flush: Optional[int] = None) -> "BatchedPredictor":
         """Load a saved model bundle (see :func:`repro.infer.save_model`)."""
         trainer = load_model(path, cache=cache)
-        return cls.from_trainer(trainer, micro_batch_size=micro_batch_size)
+        return cls.from_trainer(trainer, micro_batch_size=micro_batch_size,
+                                max_queue_size=max_queue_size, auto_flush=auto_flush)
 
     # ------------------------------------------------------------------ #
     # Bulk inference
@@ -152,41 +208,79 @@ class BatchedPredictor:
     # ------------------------------------------------------------------ #
     def submit(self, pairs: Union[EntityPair, Sequence[EntityPair]]) -> slice:
         """Enqueue one pair or a pair list; returns the slice of the next
-        :meth:`flush` result holding these requests' probabilities."""
+        :meth:`flush` result holding these requests' probabilities.
+
+        With ``auto_flush`` set, a backlog reaching that size is scored
+        eagerly (probabilities buffered until the next :meth:`flush`); with
+        only ``max_queue_size`` set, an overflowing submit raises
+        :class:`PredictorQueueFull` and enqueues nothing.
+        """
         if isinstance(pairs, EntityPair):
             pairs = [pairs]
-        start = len(self._queue)
-        self._queue.extend(pairs)
-        return slice(start, len(self._queue))
+        else:
+            pairs = list(pairs)
+        with self._queue_lock:
+            if (self.auto_flush is None and self.max_queue_size is not None
+                    and len(self._queue) + len(pairs) > self.max_queue_size):
+                raise PredictorQueueFull(
+                    f"submitting {len(pairs)} pair(s) would grow the queue to "
+                    f"{len(self._queue) + len(pairs)} > max_queue_size="
+                    f"{self.max_queue_size}; flush() first, raise the cap, or "
+                    f"enable auto_flush")
+            start = self._buffered_count + len(self._queue)
+            self._queue.extend(pairs)
+            end = start + len(pairs)
+            if self.auto_flush is not None and len(self._queue) >= self.auto_flush:
+                self._score_backlog()
+            return slice(start, end)
 
-    def pending(self) -> int:
-        """Number of queued, not yet flushed requests."""
-        return len(self._queue)
-
-    def flush(self) -> np.ndarray:
-        """Score every queued request in fused micro-batches and clear the
-        queue; probabilities are returned in submission order.  On failure
-        the queue is restored, so the slices from :meth:`submit` stay valid
-        and a retry flush covers the same requests."""
+    def _score_backlog(self) -> None:
+        """Score the unscored queue into the result buffer (queue restored on
+        failure, like :meth:`flush`).  Caller must hold the queue lock."""
         queued, self._queue = self._queue, []
         if not queued:
-            return np.zeros(0)
+            return
         try:
-            return self.predict_proba(queued)
+            probabilities = self.predict_proba(queued)
         except BaseException:
             self._queue = queued + self._queue
             raise
+        self._buffered.append(probabilities)
+        self._buffered_count += len(queued)
+
+    def pending(self) -> int:
+        """Requests submitted but not yet returned by :meth:`flush` (both the
+        unscored backlog and any eagerly scored, still-buffered results)."""
+        with self._queue_lock:
+            return self._buffered_count + len(self._queue)
+
+    def flush(self) -> np.ndarray:
+        """Score every queued request in fused micro-batches and clear the
+        queue; probabilities are returned in submission order (eagerly scored
+        ``auto_flush`` buffers first, then the remaining backlog).  On failure
+        the queue is restored, so the slices from :meth:`submit` stay valid
+        and a retry flush covers the same requests."""
+        with self._queue_lock:
+            self._score_backlog()
+            buffered, self._buffered = self._buffered, []
+            self._buffered_count = 0
+        if not buffered:
+            return np.zeros(0)
+        return buffered[0] if len(buffered) == 1 else np.concatenate(buffered)
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
         """Serving counters (requests, fused batches, queue depth)."""
-        return {
-            "requests_served": self.requests_served,
-            "batches_run": self.batches_run,
-            "pending": len(self._queue),
-            "micro_batch_size": self.micro_batch_size,
-        }
+        with self._queue_lock:
+            return {
+                "requests_served": self.requests_served,
+                "batches_run": self.batches_run,
+                "pending": self._buffered_count + len(self._queue),
+                "queued": len(self._queue),
+                "buffered": self._buffered_count,
+                "micro_batch_size": self.micro_batch_size,
+            }
 
     def __repr__(self) -> str:
         return (f"BatchedPredictor(micro_batch_size={self.micro_batch_size}, "
-                f"served={self.requests_served}, pending={len(self._queue)})")
+                f"served={self.requests_served}, pending={self.pending()})")

@@ -17,7 +17,8 @@ This package provides the surrounding production pipeline:
 
 from .candidates import (CandidateGenerationStage, CandidateResult,
                          ground_truth_pairs, possible_cross_source_pairs)
-from .clustering import (ClusteringStage, ClusterResult, UnionFind,
+from .clustering import (ClusteringStage, ClusterResult, MatchEdge, UnionFind,
+                         apply_match_edges, order_match_edges,
                          pairwise_cluster_metrics)
 from .engine import LinkagePipeline, PipelineConfig, PipelineResult
 from .index import (InitialsKeyIndex, InvertedTokenIndex, MinHashLSHIndex,
@@ -32,13 +33,16 @@ __all__ = [
     "InitialsKeyIndex",
     "InvertedTokenIndex",
     "LinkagePipeline",
+    "MatchEdge",
     "MinHashLSHIndex",
     "PipelineConfig",
     "PipelineResult",
     "ScoredCandidates",
     "ScoringStage",
     "UnionFind",
+    "apply_match_edges",
     "ground_truth_pairs",
+    "order_match_edges",
     "pairwise_cluster_metrics",
     "possible_cross_source_pairs",
     "record_tokens",

@@ -23,7 +23,13 @@ import numpy as np
 from ..data.records import Record
 from .scoring import ScoredCandidates
 
-__all__ = ["UnionFind", "ClusteringStage", "ClusterResult", "pairwise_cluster_metrics"]
+__all__ = ["UnionFind", "ClusteringStage", "ClusterResult", "MatchEdge",
+           "apply_match_edges", "order_match_edges", "pairwise_cluster_metrics"]
+
+# A thresholded match edge: (score, left record id, right record id) with
+# ``left < right`` under string order — the canonical key both the batch
+# stage and the online entity store sort and merge by.
+MatchEdge = Tuple[float, str, str]
 
 
 class UnionFind:
@@ -88,6 +94,54 @@ class UnionFind:
         groups = [sorted(members) for members in components.values()]
         groups.sort(key=lambda members: members[0])
         return groups
+
+
+def order_match_edges(edges: Iterable[MatchEdge]) -> List[MatchEdge]:
+    """Sort match edges best-first under the canonical total order.
+
+    Edges are processed in descending score order with ``(left_id, right_id)``
+    as the deterministic tie-break, so greedy merging is independent of the
+    order in which edges were discovered.  Streaming one record at a time and
+    batch runs therefore agree as long as both resolve from this order.
+    """
+    return sorted(edges, key=lambda edge: (-edge[0], edge[1], edge[2]))
+
+
+def apply_match_edges(union_find: UnionFind,
+                      cluster_sources: Optional[Dict[Hashable, set]],
+                      edges: Sequence[MatchEdge]) -> Tuple[int, int]:
+    """Greedily merge pre-ordered ``edges`` into ``union_find``.
+
+    ``cluster_sources`` maps each current root to the set of data sources in
+    its cluster; when provided, a merge that would co-cluster two records of
+    one source is vetoed (the source-consistency constraint).  Pass ``None``
+    to disable the veto (plain transitive closure).  Returns ``(matches,
+    source_conflicts)``: edges whose endpoints ended up co-clustered, and
+    edges vetoed by the constraint.
+
+    Because a merge/veto decision depends only on the state of the edge's own
+    connected component, greedy resolution over any union of whole components
+    equals the global greedy restricted to those records — the property the
+    online :class:`~repro.serve.EntityStore` relies on to re-resolve only the
+    components an upsert touched.
+    """
+    matches = 0
+    source_conflicts = 0
+    for _, left_id, right_id in edges:
+        root_left = union_find.find(left_id)
+        root_right = union_find.find(right_id)
+        if root_left == root_right:
+            matches += 1
+            continue
+        if cluster_sources is not None and cluster_sources[root_left] & cluster_sources[root_right]:
+            source_conflicts += 1
+            continue
+        union_find.union(root_left, root_right)
+        if cluster_sources is not None:
+            cluster_sources[union_find.find(root_left)] = (
+                cluster_sources[root_left] | cluster_sources[root_right])
+        matches += 1
+    return matches, source_conflicts
 
 
 def pairwise_cluster_metrics(assignments: Dict[str, int],
@@ -188,26 +242,12 @@ class ClusteringStage:
         # edges are never merged, so they are dropped before the Python-level
         # sort), deterministic under score ties.
         eligible = np.flatnonzero(np.asarray(scored.scores) >= self.threshold)
-        order = sorted(eligible.tolist(),
-                       key=lambda i: (-scored.scores[i],
-                                      scored.pairs[i].left.record_id,
-                                      scored.pairs[i].right.record_id))
-        matches = 0
-        source_conflicts = 0
-        for i in order:
-            pair = scored.pairs[i]
-            root_left = union_find.find(pair.left.record_id)
-            root_right = union_find.find(pair.right.record_id)
-            if root_left == root_right:
-                matches += 1
-                continue
-            if self.source_consistent and cluster_sources[root_left] & cluster_sources[root_right]:
-                source_conflicts += 1
-                continue
-            union_find.union(root_left, root_right)
-            cluster_sources[union_find.find(root_left)] = (
-                cluster_sources[root_left] | cluster_sources[root_right])
-            matches += 1
+        edges = order_match_edges(
+            (float(scored.scores[i]), scored.pairs[i].left.record_id,
+             scored.pairs[i].right.record_id)
+            for i in eligible.tolist())
+        matches, source_conflicts = apply_match_edges(
+            union_find, cluster_sources if self.source_consistent else None, edges)
 
         clusters = union_find.groups()
         assignments = {record_id: cluster_id

@@ -84,6 +84,94 @@ class _BucketedIndex:
         """Ids of the indexed records, in insertion order."""
         return list(self._record_ids)
 
+    @property
+    def sources(self) -> List[str]:
+        """Sources of the indexed records, aligned with :attr:`record_ids`."""
+        return list(self._sources)
+
+    def _record_keys(self, record: Record) -> Iterable[Hashable]:
+        """The bucket keys ``record`` lands in (subclass hook).
+
+        Must match the keys the subclass's ``add_records`` would use, so the
+        single-record :meth:`ingest_one` and the read-only :meth:`probe` stay
+        bit-compatible with bulk ingestion.
+        """
+        raise NotImplementedError
+
+    def preview_one(self, record: Record
+                    ) -> Tuple[int, List[Tuple[int, int]], List[List[int]], List[Hashable]]:
+        """Plan one record's insertion without mutating anything.
+
+        Returns ``(position, emitted, retracted, keys)``:
+
+        * ``position`` — the registry slot the record *would* take;
+        * ``emitted`` — ``(existing, position)`` pairs that would newly share
+          a live bucket, one entry *per shared bucket* (callers counting
+          per-bucket support see the same pair once per co-bucket);
+        * ``retracted`` — the member lists of buckets this record would tip
+          over ``max_bucket_size``.  Batch :meth:`candidate_pairs` emits
+          nothing from overflowed buckets, so pairs previously supported by
+          such a bucket lose that support;
+        * ``keys`` — the record's bucket keys, to pass to :meth:`commit_one`
+          (so e.g. MinHash signatures are computed once per insert).
+
+        The preview/commit split lets callers fail between planning and
+        mutation (e.g. a scoring error) without half-ingested state.
+        """
+        position = len(self._record_ids)
+        keys = list(self._record_keys(record))
+        emitted: List[Tuple[int, int]] = []
+        retracted: List[List[int]] = []
+        for key in keys:
+            bucket = self._buckets.get(key, ())
+            if len(bucket) > self.max_bucket_size:
+                continue  # already overflowed: dead and no longer growing
+            if len(bucket) == self.max_bucket_size:
+                # This record would tip the bucket over the cap, withdrawing
+                # its support from the pairs among the prior members.
+                retracted.append(list(bucket))
+                continue
+            emitted.extend((member, position) for member in bucket)
+        return position, emitted, retracted, keys
+
+    def commit_one(self, record: Record, keys: Sequence[Hashable]) -> int:
+        """Apply a :meth:`preview_one` plan: register and bucket the record.
+
+        Final bucket state is bit-identical to ``add_records`` over the same
+        record sequence, so streaming ingestion equals bulk ingestion.
+        """
+        position = self._register(record)
+        for key in keys:
+            self._bucket_add(key, position)
+        return position
+
+    def ingest_one(self, record: Record) -> Tuple[int, List[Tuple[int, int]], List[List[int]]]:
+        """Insert one record and report the candidate-pair deltas it caused
+        (:meth:`preview_one` and :meth:`commit_one` in one step)."""
+        position, emitted, retracted, keys = self.preview_one(record)
+        self.commit_one(record, keys)
+        return position, emitted, retracted
+
+    def probe(self, record: Record) -> Set[int]:
+        """Positions sharing a live bucket with ``record``, without inserting.
+
+        The read-only lookup used by online queries: overflowed buckets are
+        skipped (matching :meth:`candidate_pairs` semantics) and the probe
+        record itself is never registered.  Key computation
+        (:meth:`_record_keys`) is pure, so callers that must minimise lock
+        hold time can precompute keys and call :meth:`probe_keys` directly.
+        """
+        return self.probe_keys(self._record_keys(record))
+
+    def probe_keys(self, keys: Iterable[Hashable]) -> Set[int]:
+        """Positions in live buckets under any of ``keys`` (read-only)."""
+        positions: Set[int] = set()
+        for key in keys:
+            bucket = self._buckets.get(key)
+            if bucket and len(bucket) <= self.max_bucket_size:
+                positions.update(bucket)
+        return positions
+
     def _register(self, record: Record) -> int:
         """Add a record to the registry and return its position."""
         position = len(self._record_ids)
@@ -142,12 +230,15 @@ class InvertedTokenIndex(_BucketedIndex):
     def max_postings(self) -> int:
         return self.max_bucket_size
 
+    def _record_keys(self, record: Record) -> List[str]:
+        return record_tokens(record, self.attributes, self.min_token_length)
+
     def add_records(self, records: Iterable[Record]) -> int:
         """Index a batch of records; returns how many were added."""
         added = 0
         for record in records:
             position = self._register(record)
-            for token in record_tokens(record, self.attributes, self.min_token_length):
+            for token in self._record_keys(record):
                 self._bucket_add(token, position)
             added += 1
         return added
@@ -203,6 +294,9 @@ class InitialsKeyIndex(_BucketedIndex):
             for length in range(2, min(len(initials), self.max_prefix_tokens) + 1):
                 keys.add("".join(sorted(initials[:length])))
         return keys
+
+    def _record_keys(self, record: Record) -> List[str]:
+        return sorted(self.keys_for_record(record))
 
     def add_records(self, records: Iterable[Record]) -> int:
         """Index a batch of records; returns how many were added."""
@@ -318,6 +412,10 @@ class MinHashLSHIndex(_BucketedIndex):
                 combined = (combined * mixer + row) % _HASH_RANGE
             keys[band] = combined
         return keys
+
+    def _record_keys(self, record: Record) -> List[Tuple[int, int]]:
+        keys = self._band_keys(self.signatures([record]))
+        return [(band, int(keys[band, 0])) for band in range(self.bands)]
 
     # ------------------------------------------------------------------ #
     # Ingestion

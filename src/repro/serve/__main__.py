@@ -1,0 +1,165 @@
+"""CLI entry point: ``python -m repro.serve``.
+
+``--demo`` builds a synthetic Music-3K corpus, trains a quick AdaMEL matcher
+(or loads ``--model``), starts the online service and streams the shuffled
+corpus through ``EntityStore.upsert`` record by record; it then verifies that
+the streamed clusters equal one batch ``LinkagePipeline.run`` over the same
+input order, replays concurrent queries to exercise the coalescer, and
+prints throughput + p50/p95/p99 latency.  Exit code is non-zero when the
+parity check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from ..core.variants import create_variant
+from ..experiments.scenarios import DATASETS, build_corpus, build_scenario
+from ..infer.predictor import BatchedPredictor
+from ..pipeline import LinkagePipeline
+from .loadgen import replay_queries, replay_upserts
+from .service import LinkageService, ServiceConfig
+from .store import StoreConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the online entity-linkage service demo.",
+    )
+    parser.add_argument("--demo", action="store_true",
+                        help="stream a synthetic corpus through the online store "
+                             "and verify parity with the batch pipeline")
+    corpus = parser.add_argument_group("corpus")
+    corpus.add_argument("--dataset", choices=DATASETS, default="music3k",
+                        help="synthetic corpus to serve (default: music3k)")
+    corpus.add_argument("--entity-type", default="artist",
+                        help="entity type for the synthetic corpus (default: artist)")
+    corpus.add_argument("--scale", choices=("smoke", "bench", "paper"), default="smoke",
+                        help="corpus / model scale (default: smoke)")
+    corpus.add_argument("--seed", type=int, default=0, help="corpus/model/stream seed")
+    model = parser.add_argument_group("model")
+    model.add_argument("--model", default=None, metavar="BUNDLE",
+                       help="saved model bundle directory (default: train a quick "
+                            "AdaMEL model on the corpus's labeled scenario)")
+    model.add_argument("--variant", default="adamel-hyb",
+                       help="AdaMEL variant to train when no --model is given")
+    model.add_argument("--epochs", type=int, default=10,
+                       help="training epochs for the quick model (default: 10)")
+    serving = parser.add_argument_group("serving")
+    serving.add_argument("--threshold", type=float, default=0.5,
+                         help="match-score threshold for clustering (default: 0.5)")
+    serving.add_argument("--max-batch-size", type=int, default=32,
+                         help="coalescer size-flush trigger in pairs (default: 32)")
+    serving.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="coalescer deadline flush in ms (default: 2.0)")
+    serving.add_argument("--workers", type=int, default=4,
+                         help="concurrent query workers for the replay (default: 4)")
+    serving.add_argument("--queries", type=int, default=None,
+                         help="number of replayed queries (default: all records)")
+    serving.add_argument("--top-k", type=int, default=3,
+                         help="entities returned per query (default: 3)")
+    serving.add_argument("--snapshot", default=None, metavar="DIR",
+                         help="write a store snapshot to DIR after ingest")
+    serving.add_argument("--skip-parity", action="store_true",
+                         help="skip the batch-pipeline parity check (faster)")
+    return parser
+
+
+def _predictor(args: argparse.Namespace) -> BatchedPredictor:
+    if args.model is not None:
+        return BatchedPredictor.load(args.model)
+    from ..bench.runner import select_scale
+
+    _, scale = select_scale(args.scale)
+    scenario = build_scenario(args.dataset, args.entity_type, mode="overlapping",
+                              scale=scale, seed=args.seed)
+    model = create_variant(args.variant, scale.adamel_config(epochs=args.epochs))
+    print(f"training {args.variant} on {scenario.name} "
+          f"({len(scenario.source)} labeled pairs) ...", flush=True)
+    model.fit(scenario)
+    return BatchedPredictor.from_trainer(model)
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    from ..bench.runner import select_scale
+
+    predictor = _predictor(args)
+    _, scale = select_scale(args.scale)
+    corpus = build_corpus(args.dataset, entity_type=args.entity_type,
+                          scale=scale, seed=args.seed)
+    # An online service never sees records in a curated order: shuffle.
+    records = list(corpus.records)
+    np.random.default_rng(args.seed).shuffle(records)
+
+    store_config = StoreConfig(score_threshold=args.threshold)
+    service_config = ServiceConfig(max_batch_size=args.max_batch_size,
+                                   max_wait_ms=args.max_wait_ms,
+                                   top_k=args.top_k)
+    with LinkageService(predictor, store_config=store_config,
+                        service_config=service_config) as service:
+        print(f"\nstreaming {len(records)} records through EntityStore.upsert ...",
+              flush=True)
+        ingest = replay_upserts(service, records)
+        store_stats = service.store.stats()
+        print(f"ingested {ingest.operations} records in {ingest.seconds:.2f}s "
+              f"({ingest.throughput:.1f} upserts/s) -> "
+              f"{int(store_stats['entities'])} entities, "
+              f"{int(store_stats['pairs_scored'])} pairs scored")
+        percentiles = {name: value * 1000.0
+                       for name, value in ingest.percentiles().items()}
+        print("upsert latency  p50 {p50:.2f} ms  p95 {p95:.2f} ms  "
+              "p99 {p99:.2f} ms".format(**percentiles))
+
+        num_queries = len(records) if args.queries is None else args.queries
+        probes = (records * (num_queries // len(records) + 1))[:num_queries]
+        print(f"\nreplaying {len(probes)} queries from {args.workers} workers ...",
+              flush=True)
+        queries = replay_queries(service, probes, num_workers=args.workers,
+                                 top_k=args.top_k)
+        percentiles = {name: value * 1000.0
+                       for name, value in queries.percentiles().items()}
+        print(f"served {queries.operations} queries in {queries.seconds:.2f}s "
+              f"({queries.throughput:.1f} queries/s, {queries.errors} errors)")
+        print("query latency   p50 {p50:.2f} ms  p95 {p95:.2f} ms  "
+              "p99 {p99:.2f} ms".format(**percentiles))
+        coalescer = service.coalescer.stats()
+        print(f"coalescer: {int(coalescer['batches'])} fused batches "
+              f"(mean {coalescer['mean_batch_pairs']:.1f} pairs; "
+              f"{int(coalescer['size_flushes'])} size / "
+              f"{int(coalescer['deadline_flushes'])} deadline flushes)")
+
+        if args.snapshot:
+            out = service.snapshot(args.snapshot)
+            print(f"\nwrote store snapshot to {out}")
+
+        if args.skip_parity:
+            return 0
+        print("\nchecking parity against one batch LinkagePipeline.run ...", flush=True)
+        pipeline = LinkagePipeline(predictor,
+                                   config=store_config.to_pipeline_config())
+        batch = pipeline.run(records)
+        online = service.store.clusters()
+        if online == batch.clusters.clusters:
+            print(f"parity OK: {len(online)} online clusters == batch clusters")
+            return 0
+        print(f"PARITY FAILED: {len(online)} online clusters vs "
+              f"{len(batch.clusters.clusters)} batch clusters", file=sys.stderr)
+        return 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.demo:
+        build_parser().print_help()
+        print("\nhint: run the demo with  python -m repro.serve --demo")
+        return 2
+    return run_demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

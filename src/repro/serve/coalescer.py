@@ -1,0 +1,342 @@
+"""Latency-bounded request coalescing in front of the batched predictor.
+
+The model's autograd mode is process-wide, so concurrent forward passes from
+many threads are unsafe — and tiny per-request forwards waste the fused-batch
+speedup anyway.  :class:`RequestCoalescer` solves both: client threads
+enqueue scoring requests; one executor thread fuses them into micro-batches
+and runs the model, flushing when either
+
+* the queued pair count reaches ``max_batch_size`` (**size flush**), or
+* the *oldest* queued request has waited ``max_wait_ms`` (**deadline flush**),
+
+so a lone request is never stuck waiting for a full batch: ``max_wait_ms`` is
+the worst-case queueing delay added in exchange for batching throughput.
+
+Backpressure is explicit: the queue holds at most ``max_queue_size`` pairs
+and ``submit`` blocks (optionally with a timeout) until there is room,
+raising :class:`CoalescerQueueFull` on timeout instead of growing without
+bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..data.records import EntityPair
+
+__all__ = ["RequestCoalescer", "PendingScore", "CoalescerClosed", "CoalescerQueueFull"]
+
+ScoreFn = Callable[[Sequence[EntityPair]], np.ndarray]
+
+
+class CoalescerClosed(RuntimeError):
+    """The coalescer is stopped (or was never started) and cannot accept work."""
+
+
+class CoalescerQueueFull(RuntimeError):
+    """``submit`` timed out waiting for queue room (backpressure bound hit)."""
+
+
+class PendingScore:
+    """Handle for one submitted request; resolved by the executor thread."""
+
+    __slots__ = ("_event", "_result", "_error", "num_pairs", "enqueued_at",
+                 "deadline")
+
+    def __init__(self, num_pairs: int, enqueued_at: float, deadline: float) -> None:
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.num_pairs = num_pairs
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline  # latest flush time this request accepts
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the batch holding this request was scored."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"scoring request not completed within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: np.ndarray) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _QueuedRequest:
+    __slots__ = ("pairs", "pending")
+
+    def __init__(self, pairs: List[EntityPair], pending: PendingScore) -> None:
+        self.pairs = pairs
+        self.pending = pending
+
+
+class RequestCoalescer:
+    """Fuse concurrent scoring requests into deadline-bounded micro-batches.
+
+    Parameters
+    ----------
+    score_fn:
+        The fused scorer, typically ``BatchedPredictor.predict_proba``.  Only
+        the executor thread ever calls it, so it needs no thread safety.
+    max_batch_size:
+        Flush as soon as this many pairs are queued.  Also the upper bound on
+        the pairs handed to ``score_fn`` per call (whole requests are never
+        split, so a single larger-than-batch request goes through alone).
+    max_wait_ms:
+        Deadline flush: the longest a queued request may wait for co-riders.
+    max_queue_size:
+        Backpressure bound on queued pairs; ``submit`` blocks for room.
+    """
+
+    def __init__(self, score_fn: ScoreFn, max_batch_size: int = 64,
+                 max_wait_ms: float = 5.0, max_queue_size: int = 4096) -> None:
+        if max_batch_size <= 0:
+            raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_size < max_batch_size:
+            raise ValueError(f"max_queue_size ({max_queue_size}) must be >= "
+                             f"max_batch_size ({max_batch_size})")
+        self.score_fn = score_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait_ms / 1000.0
+        self.max_queue_size = max_queue_size
+        self._condition = threading.Condition()
+        self._queue: Deque[_QueuedRequest] = deque()
+        self._queued_pairs = 0
+        self._stopping = False
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        # Counters (guarded by the condition's lock).
+        self.requests = 0
+        self.pairs_scored = 0
+        self.batches = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+        self.rejected = 0
+        self._batch_sizes_sum = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "RequestCoalescer":
+        """Spawn the executor thread (idempotent while running)."""
+        with self._condition:
+            if self._running:
+                return self
+            self._stopping = False
+            self._running = True
+            self._thread = threading.Thread(target=self._run, name="repro-coalescer",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Flush whatever is queued, then stop the executor thread.
+
+        If the executor does not finish within ``timeout`` (e.g. it is stuck
+        inside a slow ``score_fn``), the coalescer stays in the stopping
+        state and ``TimeoutError`` is raised: a later ``start()`` must never
+        spawn a second executor while the old one lives, because two threads
+        would then call the non-thread-safe model concurrently.  Retry
+        ``stop()`` to wait again.
+        """
+        with self._condition:
+            if not self._running:
+                return
+            self._stopping = True
+            self._condition.notify_all()
+            thread = self._thread
+        assert thread is not None
+        thread.join(timeout)
+        if thread.is_alive():
+            raise TimeoutError(
+                f"coalescer executor still running after {timeout}s "
+                f"(score_fn in flight?); retry stop() to keep waiting")
+        with self._condition:
+            self._running = False
+            self._thread = None
+
+    def __enter__(self) -> "RequestCoalescer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def submit(self, pairs: Union[EntityPair, Sequence[EntityPair]],
+               timeout: Optional[float] = None,
+               max_wait: Optional[float] = None) -> PendingScore:
+        """Enqueue a request; returns a :class:`PendingScore` handle.
+
+        Blocks while the queue is at ``max_queue_size`` (backpressure); a
+        ``timeout`` bounds that wait and raises :class:`CoalescerQueueFull`.
+        ``max_wait`` (seconds) overrides the coalescer's deadline for this
+        request — ``0.0`` asks for an immediate flush (still fused with
+        whatever is already queued), which serialized writers use so their
+        lone requests don't wait out a co-rider deadline nothing can fill.
+        """
+        if isinstance(pairs, EntityPair):
+            pairs = [pairs]
+        else:
+            pairs = list(pairs)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            if not self._running or self._stopping:
+                raise CoalescerClosed("the coalescer is not running; call start() "
+                                      "or use it as a context manager")
+            # A request bigger than the whole queue bound could never fit.
+            needed = min(len(pairs), self.max_queue_size) or 1
+            while self._queued_pairs + needed > self.max_queue_size:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.rejected += 1
+                    raise CoalescerQueueFull(
+                        f"no room for {len(pairs)} pair(s) within {timeout}s "
+                        f"(queued={self._queued_pairs}, bound={self.max_queue_size})")
+                self._condition.wait(remaining)
+                if not self._running or self._stopping:
+                    raise CoalescerClosed("the coalescer stopped while waiting "
+                                          "for queue room")
+            now = time.monotonic()
+            wait = self.max_wait if max_wait is None else max(max_wait, 0.0)
+            pending = PendingScore(num_pairs=len(pairs), enqueued_at=now,
+                                   deadline=now + wait)
+            self._queue.append(_QueuedRequest(pairs, pending))
+            self._queued_pairs += len(pairs)
+            self.requests += 1
+            self._condition.notify_all()
+            return pending
+
+    def score(self, pairs: Union[EntityPair, Sequence[EntityPair]],
+              timeout: Optional[float] = None,
+              max_wait: Optional[float] = None) -> np.ndarray:
+        """Submit and block for the probabilities (the common client call).
+
+        ``timeout`` is one overall bound covering both the wait for queue
+        room and the wait for the result.
+        """
+        if not isinstance(pairs, EntityPair) and not len(pairs):
+            return np.zeros(0)
+        give_up = None if timeout is None else time.monotonic() + timeout
+        pending = self.submit(pairs, timeout=timeout, max_wait=max_wait)
+        remaining = None if give_up is None else max(give_up - time.monotonic(), 0.0)
+        return pending.result(remaining)
+
+    def pending(self) -> int:
+        """Pairs currently queued (not yet handed to the executor)."""
+        with self._condition:
+            return self._queued_pairs
+
+    def stats(self) -> Dict[str, float]:
+        """Coalescing counters (batches, flush causes, mean fused size)."""
+        with self._condition:
+            return {
+                "requests": float(self.requests),
+                "pairs_scored": float(self.pairs_scored),
+                "batches": float(self.batches),
+                "size_flushes": float(self.size_flushes),
+                "deadline_flushes": float(self.deadline_flushes),
+                "rejected": float(self.rejected),
+                "queued_pairs": float(self._queued_pairs),
+                "mean_batch_pairs": (self._batch_sizes_sum / self.batches
+                                     if self.batches else 0.0),
+                "max_batch_size": float(self.max_batch_size),
+                "max_wait_ms": self.max_wait * 1000.0,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Executor side
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            batch, cause = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch, cause)
+
+    def _next_batch(self) -> tuple:
+        """Wait for a size or deadline trigger and drain one batch.
+
+        Returns ``(requests, cause)``; ``(None, None)`` means shutdown with
+        an empty queue.
+        """
+        with self._condition:
+            while not self._queue:
+                if self._stopping:
+                    return None, None
+                self._condition.wait()
+            # Wait for co-riders until the batch fills or the most impatient
+            # queued request's deadline passes (shutdown flushes immediately).
+            # The minimum is recomputed each round: per-request max_wait
+            # overrides mean a later arrival can be the most impatient.
+            cause = "size"
+            while not self._stopping and self._queued_pairs < self.max_batch_size:
+                deadline = min(request.pending.deadline for request in self._queue)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    cause = "deadline"
+                    break
+                self._condition.wait(remaining)
+            if self._queued_pairs >= self.max_batch_size:
+                cause = "size"
+            elif self._stopping:
+                cause = "shutdown"
+            batch: List[_QueuedRequest] = []
+            taken = 0
+            while self._queue and (not batch or
+                                   taken + len(self._queue[0].pairs) <= self.max_batch_size):
+                request = self._queue.popleft()
+                batch.append(request)
+                taken += len(request.pairs)
+            self._queued_pairs -= taken
+            if cause == "size":
+                self.size_flushes += 1
+            elif cause == "deadline":
+                self.deadline_flushes += 1
+            self.batches += 1
+            self._batch_sizes_sum += taken
+            self._condition.notify_all()  # wake submitters blocked on room
+            return batch, cause
+
+    def _execute(self, batch: List[_QueuedRequest], cause: str) -> None:
+        fused: List[EntityPair] = []
+        for request in batch:
+            fused.extend(request.pairs)
+        try:
+            scores = np.asarray(self.score_fn(fused))
+            if scores.shape != (len(fused),):
+                raise ValueError(f"score_fn returned shape {scores.shape} for "
+                                 f"{len(fused)} pairs")
+        except BaseException as error:  # propagate to every waiting client
+            for request in batch:
+                request.pending._fail(error)
+            return
+        with self._condition:
+            self.pairs_scored += len(fused)
+        offset = 0
+        for request in batch:
+            request.pending._resolve(scores[offset:offset + len(request.pairs)].copy())
+            offset += len(request.pairs)
+
+    def __repr__(self) -> str:
+        return (f"RequestCoalescer(max_batch_size={self.max_batch_size}, "
+                f"max_wait_ms={self.max_wait * 1000.0:g}, "
+                f"pending={self.pending()})")

@@ -1,0 +1,173 @@
+"""The online linkage service: entity store + request coalescer, wired.
+
+:class:`LinkageService` is the deployable front end of the serving
+subsystem.  It owns
+
+* a :class:`~repro.serve.RequestCoalescer` whose executor thread is the only
+  caller of the model (autograd mode is process-wide, so model forwards must
+  be single-threaded), and
+* an :class:`~repro.serve.EntityStore` whose scoring is routed through that
+  coalescer — so concurrent queries *and* the upsert path share the same
+  fused micro-batches.
+
+Clients call :meth:`upsert` / :meth:`query` from their own threads; there is
+no internal worker pool.  Upserts serialize on the store lock (single-writer
+semantics — batch parity is defined over one input order), while queries from
+many threads coalesce into deadline-bounded batches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..data.records import Record
+from ..infer.predictor import BatchedPredictor
+from .coalescer import RequestCoalescer
+from .store import EntityStore, QueryMatch, StoreConfig
+
+__all__ = ["LinkageService", "ServiceConfig", "UpsertResult", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Coalescing and ranking knobs of the service."""
+
+    max_batch_size: int = 64
+    max_wait_ms: float = 5.0
+    max_queue_size: int = 4096
+    top_k: int = 5
+    request_timeout: Optional[float] = 30.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "max_queue_size": self.max_queue_size,
+            "top_k": self.top_k,
+            "request_timeout": self.request_timeout,
+        }
+
+
+@dataclass(frozen=True)
+class UpsertResult:
+    """Outcome of one online upsert."""
+
+    record_id: str
+    entity_id: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one online query."""
+
+    matches: List[QueryMatch]
+    seconds: float
+
+    @property
+    def best(self) -> Optional[QueryMatch]:
+        return self.matches[0] if self.matches else None
+
+
+class LinkageService:
+    """Serve `upsert(record) -> entity` and `query(record) -> candidates`.
+
+    Parameters
+    ----------
+    predictor:
+        The fitted :class:`~repro.infer.BatchedPredictor`.  Only the
+        coalescer's executor thread calls it.
+    store_config / service_config:
+        Knobs for the store and the coalescing front end.
+    store:
+        An existing store to serve (e.g. restored from a snapshot); its
+        scoring is re-bound to this service's coalescer.  Default: a fresh
+        store built from ``store_config``.
+    """
+
+    def __init__(self, predictor: BatchedPredictor,
+                 store_config: Optional[StoreConfig] = None,
+                 service_config: Optional[ServiceConfig] = None,
+                 store: Optional[EntityStore] = None) -> None:
+        if store is not None and store_config is not None:
+            raise ValueError("pass either an existing store or a store_config, not both")
+        self.predictor = predictor
+        self.config = service_config or ServiceConfig()
+        self.coalescer = RequestCoalescer(
+            predictor.predict_proba,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue_size=self.config.max_queue_size,
+        )
+        self.store = store if store is not None else EntityStore(config=store_config)
+        self.store.bind_score_fn(self._score, upsert_score_fn=self._score_upsert)
+        self._started_at: Optional[float] = None
+
+    def _score(self, pairs):
+        return self.coalescer.score(pairs, timeout=self.config.request_timeout)
+
+    def _score_upsert(self, pairs):
+        # Upserts are serialized on the store lock, so waiting out the
+        # coalescer deadline for co-riders would only cap ingest throughput
+        # (and stall queries behind the lock): ask for an immediate flush —
+        # still fused with any queries already queued.
+        return self.coalescer.score(pairs, timeout=self.config.request_timeout,
+                                    max_wait=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "LinkageService":
+        self.coalescer.start()
+        self._started_at = time.monotonic()
+        return self
+
+    def stop(self) -> None:
+        self.coalescer.stop()
+
+    def __enter__(self) -> "LinkageService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+    def upsert(self, record: Record) -> UpsertResult:
+        """Link one record online; returns its entity id and latency."""
+        start = time.perf_counter()
+        entity_id = self.store.upsert(record)
+        return UpsertResult(record_id=record.record_id, entity_id=entity_id,
+                            seconds=time.perf_counter() - start)
+
+    def query(self, record: Record, top_k: Optional[int] = None) -> QueryResult:
+        """Rank stored entities for a probe record; returns matches + latency."""
+        start = time.perf_counter()
+        matches = self.store.query(
+            record, top_k=self.config.top_k if top_k is None else top_k)
+        return QueryResult(matches=matches, seconds=time.perf_counter() - start)
+
+    def snapshot(self, path: Union[str, Path]) -> Path:
+        """Persist the store (see :meth:`EntityStore.snapshot`)."""
+        return self.store.snapshot(path)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Nested store / coalescer / predictor counters."""
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        service = {"uptime_seconds": uptime,
+                   "max_batch_size": float(self.config.max_batch_size),
+                   "max_wait_ms": float(self.config.max_wait_ms),
+                   "max_queue_size": float(self.config.max_queue_size)}
+        return {
+            "service": service,
+            "store": self.store.stats(),
+            "coalescer": self.coalescer.stats(),
+            "predictor": {key: float(value)
+                          for key, value in self.predictor.stats().items()},
+        }

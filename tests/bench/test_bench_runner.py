@@ -6,6 +6,7 @@ import pytest
 
 from repro.bench import (STAGES, check_regressions, find_regressions, list_stages,
                          run_suite, select_scale)
+from repro.bench.runner import summarize_latency_samples
 from repro.bench.__main__ import build_parser
 from repro.experiments import ExperimentScale
 from repro.experiments.registry import EXPERIMENTS
@@ -45,6 +46,35 @@ class TestStageRegistry:
     def test_unknown_stage_rejected(self):
         with pytest.raises(KeyError, match="unknown bench stages"):
             run_suite(scale_name="smoke", stages=["nonexistent"])
+
+    def test_serve_online_stage_registered(self):
+        assert "serve_online" in {name for name, _ in list_stages()}
+
+
+class TestLatencyPercentiles:
+    def test_samples_fold_into_millisecond_percentiles(self):
+        extras = {
+            "throughput": 100.0,
+            "query_latency_samples": [0.001 * i for i in range(1, 101)],
+        }
+        summarized = summarize_latency_samples(extras)
+        assert summarized["throughput"] == 100.0
+        assert "query_latency_samples" not in summarized
+        assert summarized["query_latency_count"] == 100.0
+        assert (summarized["query_latency_p50_ms"]
+                <= summarized["query_latency_p95_ms"]
+                <= summarized["query_latency_p99_ms"])
+        # Samples are seconds, snapshot keys are milliseconds.
+        assert summarized["query_latency_p50_ms"] == pytest.approx(50.5, rel=0.02)
+
+    def test_empty_samples_stay_json_clean(self):
+        summarized = summarize_latency_samples({"upsert_latency_samples": []})
+        assert summarized["upsert_latency_p99_ms"] == 0.0
+        assert summarized["upsert_latency_count"] == 0.0
+
+    def test_extras_without_samples_pass_through(self):
+        extras = {"seconds": 1.0, "speedup": 2.0}
+        assert summarize_latency_samples(extras) == extras
 
 
 class TestEncoderStage:

@@ -1,0 +1,112 @@
+"""Hammer tests: EncodingCache under concurrent lookup/store/clear traffic.
+
+Before the serve subsystem, the process-wide cache was only touched from one
+thread; online serving hits it from many.  These tests drive it hard from
+worker threads and then check the structural invariants the byte-budget
+eviction relies on (tracked bytes == sum of entry bytes <= budget, consistent
+hit/miss accounting).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.features import EncodingCache
+
+
+def entry_arrays(rng: np.random.Generator, size: int = 8):
+    features = rng.normal(size=(size, size))
+    mask = np.ones(size)
+    return features, mask
+
+
+def cache_invariants_hold(cache: EncodingCache) -> bool:
+    entries = list(cache._entries.values())
+    tracked = sum(features.nbytes + mask.nbytes for features, mask in entries)
+    return cache.current_bytes == tracked and cache.current_bytes <= cache.max_bytes
+
+
+class TestEncodingCacheHammer:
+    @pytest.mark.slow
+    def test_concurrent_lookup_store_keeps_budget_and_counters(self):
+        # Budget fits only a fraction of the keyspace, so eviction churns
+        # constantly while every thread hammers overlapping keys.
+        entry_bytes = 8 * 8 * 8 + 8 * 8
+        cache = EncodingCache(max_bytes=entry_bytes * 10)
+        num_threads, ops = 8, 400
+        lookups_per_thread = []
+        errors = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            lookups = 0
+            try:
+                for index in range(ops):
+                    key = ("pair", int(rng.integers(0, 40)))
+                    if cache.lookup(key) is None:
+                        features, mask = entry_arrays(rng)
+                        cache.store(key, features, mask)
+                    lookups += 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+            lookups_per_thread.append(lookups)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert cache_invariants_hold(cache)
+        # Every lookup increments exactly one of hits/misses, atomically.
+        assert cache.hits + cache.misses == sum(lookups_per_thread)
+        assert len(cache) <= 10
+
+    @pytest.mark.slow
+    def test_concurrent_clear_does_not_corrupt_the_budget(self):
+        entry_bytes = 8 * 8 * 8 + 8 * 8
+        cache = EncodingCache(max_bytes=entry_bytes * 6)
+        stop = threading.Event()
+        errors = []
+
+        def mutator(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    key = ("pair", int(rng.integers(0, 24)))
+                    if cache.lookup(key) is None:
+                        features, mask = entry_arrays(rng)
+                        cache.store(key, features, mask)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def clearer() -> None:
+            try:
+                while not stop.is_set():
+                    cache.clear()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = ([threading.Thread(target=mutator, args=(seed,)) for seed in range(6)]
+                   + [threading.Thread(target=clearer)])
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join()
+        timer.cancel()
+
+        assert not errors
+        assert cache_invariants_hold(cache)
+        # The cache must still work normally after the storm.
+        features, mask = entry_arrays(np.random.default_rng(0))
+        cache.store(("after", 0), features, mask)
+        cached = cache.lookup(("after", 0))
+        assert cached is not None
+        np.testing.assert_array_equal(cached[0], features)

@@ -145,6 +145,62 @@ class TestInitialsKeyIndex:
         assert _id_pairs(index) == {("a", "b")}
 
 
+class TestIngestOneAndProbe:
+    """The single-record ingestion/probe path the online entity store uses."""
+
+    @pytest.mark.parametrize("make_index", [
+        lambda: InvertedTokenIndex(min_token_length=3, max_postings=3),
+        lambda: MinHashLSHIndex(num_perm=32, bands=8, max_bucket_size=3, seed=7),
+        lambda: InitialsKeyIndex(max_bucket_size=3),
+    ], ids=["inverted", "minhash", "initials"])
+    def test_ingest_one_matches_bulk_buckets(self, make_index, tiny_music_corpus):
+        records = tiny_music_corpus.records
+        bulk = make_index()
+        bulk.add_records(records)
+        streamed = make_index()
+        for record in records:
+            streamed.ingest_one(record)
+        assert streamed._buckets == bulk._buckets
+        assert streamed.record_ids == bulk.record_ids
+        assert (streamed.candidate_pairs(cross_source_only=True)
+                == bulk.candidate_pairs(cross_source_only=True))
+
+    def test_emission_support_mirrors_candidate_pairs(self, tiny_music_corpus):
+        # Summing per-bucket emissions minus retractions must recover exactly
+        # the live candidate pairs batch emission would produce.
+        from collections import Counter
+        from itertools import combinations
+
+        index = InvertedTokenIndex(min_token_length=3, max_postings=3)
+        support = Counter()
+        for record in tiny_music_corpus.records:
+            _, emitted, retracted = index.ingest_one(record)
+            for left, right in emitted:
+                support[tuple(sorted((left, right)))] += 1
+            for members in retracted:
+                for left, right in combinations(members, 2):
+                    support[tuple(sorted((left, right)))] -= 1
+        live = {pair for pair, count in support.items() if count > 0}
+        assert live == index.candidate_pairs(cross_source_only=False)
+        assert all(count >= 0 for count in support.values())
+
+    def test_probe_is_read_only_and_finds_co_bucketed_records(self):
+        index = InvertedTokenIndex(min_token_length=3, max_postings=4)
+        index.add_records([
+            _record("r1", "s1", "Neil Diamond"),
+            _record("r2", "s2", "neil diamond live"),
+            _record("r3", "s3", "Johnny Cash"),
+        ])
+        probe = _record("px", "s9", "diamond anthology")
+        assert index.probe(probe) == {0, 1}
+        assert len(index) == 3  # probing never registers the record
+
+    def test_probe_skips_overflowed_buckets(self):
+        index = InvertedTokenIndex(min_token_length=3, max_postings=2)
+        index.add_records([_record(f"r{i}", f"s{i}", "diamond") for i in range(4)])
+        assert index.probe(_record("px", "s9", "diamond")) == set()
+
+
 class TestLSHRecallVsTokenBlocker:
     def test_index_union_beats_token_blocker_at_equal_budget(self, tiny_music_corpus):
         """The index union must dominate single-attribute token blocking:

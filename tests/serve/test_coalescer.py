@@ -1,0 +1,238 @@
+"""RequestCoalescer: fusion, deadline/size flushes, backpressure, failures.
+
+These tests use a plain deterministic score function (no model), so the
+batching behaviour can be asserted tightly and the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.records import EntityPair, Record
+from repro.serve import CoalescerClosed, CoalescerQueueFull, RequestCoalescer
+
+
+def make_pair(index: int) -> EntityPair:
+    left = Record(record_id=f"l{index}", source="a", attributes={"name": f"left {index}"})
+    right = Record(record_id=f"r{index}", source="b", attributes={"name": f"right {index}"})
+    return EntityPair(left=left, right=right)
+
+
+def index_scores(pairs):
+    """Deterministic per-pair score derived from the record id."""
+    return np.array([float(int(pair.left.record_id[1:]) % 97) / 97.0
+                     for pair in pairs])
+
+
+class TestFusion:
+    def test_results_match_submission_and_request_order(self):
+        pairs = [make_pair(i) for i in range(20)]
+        with RequestCoalescer(index_scores, max_batch_size=8, max_wait_ms=5.0) as coalescer:
+            first = coalescer.submit(pairs[:6])
+            second = coalescer.submit(pairs[6])
+            third = coalescer.submit(pairs[7:20])
+            np.testing.assert_array_equal(first.result(5.0), index_scores(pairs[:6]))
+            np.testing.assert_array_equal(second.result(5.0), index_scores([pairs[6]]))
+            np.testing.assert_array_equal(third.result(5.0), index_scores(pairs[7:20]))
+
+    def test_concurrent_submitters_are_fused_into_fewer_batches(self):
+        release = threading.Event()
+        calls = []
+
+        def gated_scores(pairs):
+            calls.append(len(pairs))
+            release.wait(5.0)
+            return index_scores(pairs)
+
+        num_requests = 12
+        with RequestCoalescer(gated_scores, max_batch_size=64,
+                              max_wait_ms=1.0) as coalescer:
+            handles = []
+            threads = [threading.Thread(
+                target=lambda i=i: handles.append(coalescer.submit(make_pair(i))))
+                for i in range(num_requests)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # First batch is gated inside score_fn; every request submitted
+            # meanwhile must ride along in at most one further batch.
+            release.set()
+            deadline = time.monotonic() + 5.0
+            while len(handles) < num_requests and time.monotonic() < deadline:
+                time.sleep(0.01)
+            for handle in handles:
+                handle.result(5.0)
+        assert sum(calls) == num_requests
+        assert len(calls) <= 2
+        assert coalescer.stats()["batches"] == len(calls)
+
+    def test_scores_identical_to_direct_call(self):
+        pairs = [make_pair(i) for i in range(33)]
+        with RequestCoalescer(index_scores, max_batch_size=8, max_wait_ms=1.0) as coalescer:
+            fused = np.concatenate([coalescer.score([pair]) for pair in pairs])
+        np.testing.assert_array_equal(fused, index_scores(pairs))
+
+
+class TestFlushTriggers:
+    def test_deadline_flush_fires_below_batch_size(self):
+        # 3 pairs never fill a 64-pair batch: only the deadline can flush.
+        with RequestCoalescer(index_scores, max_batch_size=64,
+                              max_wait_ms=20.0) as coalescer:
+            start = time.monotonic()
+            scores = coalescer.score([make_pair(i) for i in range(3)], timeout=5.0)
+            elapsed = time.monotonic() - start
+        assert scores.shape == (3,)
+        stats = coalescer.stats()
+        assert stats["deadline_flushes"] >= 1
+        assert stats["size_flushes"] == 0
+        assert elapsed >= 0.015  # the request waited for (most of) the deadline
+
+    def test_size_flush_fires_before_deadline(self):
+        # A full batch must not wait out a deliberately huge deadline.
+        with RequestCoalescer(index_scores, max_batch_size=4,
+                              max_wait_ms=30_000.0) as coalescer:
+            start = time.monotonic()
+            scores = coalescer.score([make_pair(i) for i in range(4)], timeout=5.0)
+            elapsed = time.monotonic() - start
+        assert scores.shape == (4,)
+        assert coalescer.stats()["size_flushes"] >= 1
+        assert elapsed < 5.0
+
+    def test_max_wait_zero_overrides_a_long_deadline(self):
+        # A serialized writer (the store's upsert path) asks for max_wait=0:
+        # its lone request must flush immediately instead of waiting out a
+        # deadline no co-rider can fill.
+        with RequestCoalescer(index_scores, max_batch_size=64,
+                              max_wait_ms=30_000.0) as coalescer:
+            start = time.monotonic()
+            scores = coalescer.score([make_pair(0)], timeout=5.0, max_wait=0.0)
+            elapsed = time.monotonic() - start
+        assert scores.shape == (1,)
+        assert elapsed < 1.0
+
+    def test_oversized_request_goes_through_alone(self):
+        with RequestCoalescer(index_scores, max_batch_size=4, max_wait_ms=1.0,
+                              max_queue_size=64) as coalescer:
+            scores = coalescer.score([make_pair(i) for i in range(11)], timeout=5.0)
+        assert scores.shape == (11,)
+        assert coalescer.stats()["mean_batch_pairs"] == 11.0
+
+
+class TestBackpressure:
+    def test_submit_times_out_when_queue_is_full(self):
+        gate = threading.Event()
+
+        def blocked_scores(pairs):
+            gate.wait(10.0)
+            return index_scores(pairs)
+
+        coalescer = RequestCoalescer(blocked_scores, max_batch_size=2,
+                                     max_wait_ms=0.0, max_queue_size=2)
+        with coalescer:
+            # Batch one occupies the executor; the queue then fills up.
+            first = coalescer.submit([make_pair(0), make_pair(1)])
+            time.sleep(0.05)  # let the executor pick batch one up
+            second = coalescer.submit([make_pair(2), make_pair(3)])
+            with pytest.raises(CoalescerQueueFull):
+                coalescer.submit(make_pair(4), timeout=0.05)
+            assert coalescer.stats()["rejected"] == 1.0
+            gate.set()
+            first.result(5.0)
+            second.result(5.0)
+
+    def test_submit_blocks_until_room_frees_up(self):
+        slow_started = threading.Event()
+
+        def slow_scores(pairs):
+            slow_started.set()
+            time.sleep(0.05)
+            return index_scores(pairs)
+
+        with RequestCoalescer(slow_scores, max_batch_size=2, max_wait_ms=0.0,
+                              max_queue_size=2) as coalescer:
+            coalescer.submit([make_pair(0), make_pair(1)])
+            slow_started.wait(5.0)
+            pending = coalescer.submit([make_pair(2), make_pair(3)])
+            # Queue full: this submit must wait for the executor, then land.
+            scores = coalescer.score(make_pair(4), timeout=5.0)
+            assert scores.shape == (1,)
+            pending.result(5.0)
+
+
+class TestLifecycleAndFailure:
+    def test_submit_before_start_and_after_stop_raises(self):
+        coalescer = RequestCoalescer(index_scores)
+        with pytest.raises(CoalescerClosed):
+            coalescer.submit(make_pair(0))
+        coalescer.start()
+        coalescer.stop()
+        with pytest.raises(CoalescerClosed):
+            coalescer.submit(make_pair(0))
+
+    def test_stop_flushes_queued_requests(self):
+        coalescer = RequestCoalescer(index_scores, max_batch_size=64,
+                                     max_wait_ms=60_000.0)
+        coalescer.start()
+        handle = coalescer.submit(make_pair(3))
+        coalescer.stop()
+        np.testing.assert_array_equal(handle.result(0.0), index_scores([make_pair(3)]))
+
+    def test_stop_timeout_never_detaches_a_live_executor(self):
+        # A stop() that times out while score_fn is stuck must not let a
+        # later start() spawn a second executor next to the live one (two
+        # threads would then drive the non-thread-safe model concurrently).
+        gate = threading.Event()
+
+        def stuck_scores(pairs):
+            gate.wait(10.0)
+            return index_scores(pairs)
+
+        coalescer = RequestCoalescer(stuck_scores, max_batch_size=1, max_wait_ms=0.0)
+        coalescer.start()
+        handle = coalescer.submit(make_pair(0))
+        time.sleep(0.05)  # let the executor enter the stuck score_fn
+        with pytest.raises(TimeoutError, match="still running"):
+            coalescer.stop(timeout=0.05)
+        assert coalescer.start() is coalescer
+        executors = [thread for thread in threading.enumerate()
+                     if thread.name == "repro-coalescer"]
+        assert len(executors) == 1  # no second executor was spawned
+        gate.set()
+        coalescer.stop(timeout=5.0)
+        np.testing.assert_array_equal(handle.result(0.0), index_scores([make_pair(0)]))
+
+    def test_score_fn_error_propagates_to_every_request(self):
+        def broken_scores(pairs):
+            raise RuntimeError("model fell over")
+
+        with RequestCoalescer(broken_scores, max_batch_size=4,
+                              max_wait_ms=1.0) as coalescer:
+            first = coalescer.submit(make_pair(0))
+            second = coalescer.submit(make_pair(1))
+            with pytest.raises(RuntimeError, match="fell over"):
+                first.result(5.0)
+            with pytest.raises(RuntimeError, match="fell over"):
+                second.result(5.0)
+
+    def test_bad_score_shape_is_an_error(self):
+        with RequestCoalescer(lambda pairs: np.zeros(1 + len(pairs)),
+                              max_batch_size=4, max_wait_ms=1.0) as coalescer:
+            with pytest.raises(ValueError, match="shape"):
+                coalescer.score(make_pair(0), timeout=5.0)
+
+    def test_empty_score_returns_empty(self):
+        with RequestCoalescer(index_scores) as coalescer:
+            assert coalescer.score([]).shape == (0,)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            RequestCoalescer(index_scores, max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            RequestCoalescer(index_scores, max_wait_ms=-1.0)
+        with pytest.raises(ValueError, match="max_queue_size"):
+            RequestCoalescer(index_scores, max_batch_size=8, max_queue_size=4)
