@@ -19,6 +19,7 @@ from ..data.records import EntityPair
 from ..data.sampling import BatchSampler
 from ..data.schema import Schema
 from ..eval.metrics import ClassificationReport, classification_report
+from ..nn.graph import CompiledGraph, Tape
 from ..nn.losses import binary_cross_entropy
 from ..nn.module import Module
 from ..nn.optim import Adam, clip_grad_norm
@@ -49,6 +50,11 @@ class BaselineConfig:
     seed: int = 0
     use_support_set: bool = False
     verbose: bool = False
+    # Autograd execution for the training loop: "auto"/"replay" record the
+    # per-step graph once and replay it for networks that declare themselves
+    # ``replay_safe`` (see docs/autograd.md); "eager" forces the historical
+    # rebuild-every-step behaviour.  Float64 replay is bit-exact with eager.
+    execution: str = "auto"
 
     def __post_init__(self) -> None:
         for name in ("embedding_dim", "tokens_per_attribute", "hidden_dim",
@@ -57,6 +63,9 @@ class BaselineConfig:
                 raise ValueError(f"{name} must be positive")
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        if self.execution not in ("auto", "replay", "eager"):
+            raise ValueError(
+                f"execution must be 'auto', 'replay' or 'eager', got {self.execution!r}")
 
 
 class SupervisedPairModel:
@@ -117,7 +126,28 @@ class SupervisedPairModel:
         labels = np.array([pair.label for pair in train_pairs], dtype=np.float64)
         encoded = self._encode_pairs(train_pairs)
         self.network = self._build_network(encoded, rng)
-        optimizer = Adam(self.network.parameters(), lr=config.learning_rate)
+        optimizer = Adam(self.network.parameters(), lr=config.learning_rate,
+                         flatten=True)
+
+        # Graph replay (see docs/autograd.md): the per-step graph is static,
+        # so for networks that declare their forward capture-safe
+        # (``replay_safe``) we record it once per batch size — the network
+        # reads its features through views of a stable batch buffer — and
+        # replay it for every later step.  Float64 replay is bit-exact with
+        # the eager loop below.
+        use_replay = (config.execution in ("auto", "replay")
+                      and getattr(self.network, "replay_safe", False))
+        step_graphs: Dict[int, tuple] = {}
+
+        def eager_step(indices: np.ndarray) -> float:
+            batch_probs = self.network(self._slice(encoded, indices))
+            loss = binary_cross_entropy(batch_probs, Tensor(labels[indices]))
+            optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip > 0:
+                clip_grad_norm(self.network.parameters(), config.grad_clip)
+            optimizer.step()
+            return float(loss.data)
 
         self.loss_history = []
         for epoch in range(config.epochs):
@@ -126,14 +156,37 @@ class SupervisedPairModel:
             epoch_loss = 0.0
             batches = 0
             for indices in sampler:
-                batch_probs = self.network(self._slice(encoded, indices))
-                loss = binary_cross_entropy(batch_probs, Tensor(labels[indices]))
-                optimizer.zero_grad()
-                loss.backward()
-                if config.grad_clip > 0:
-                    clip_grad_norm(self.network.parameters(), config.grad_clip)
-                optimizer.step()
-                epoch_loss += float(loss.data)
+                size = len(indices)
+                entry = step_graphs.get(size) if use_replay else None
+                if entry is not None:
+                    graph, loss_t, feature_buffer, label_buffer = entry
+                    np.take(encoded, np.asarray(indices, dtype=np.int64), axis=0,
+                            out=feature_buffer)
+                    label_buffer[...] = labels[indices]
+                    graph.step()
+                    if config.grad_clip > 0:
+                        clip_grad_norm(self.network.parameters(), config.grad_clip)
+                    optimizer.step()
+                    epoch_loss += float(loss_t.data)
+                elif use_replay and len(step_graphs) < 8:
+                    # Record a graph for this batch size; the capture run is
+                    # this step's forward pass.
+                    feature_buffer = np.array(self._slice(encoded, indices))
+                    label_buffer = np.array(labels[indices])
+                    tape = Tape()
+                    with tape:
+                        probs = self.network(feature_buffer)
+                        loss = binary_cross_entropy(probs, Tensor(label_buffer))
+                    graph = CompiledGraph(tape, inputs={}, loss=loss)
+                    step_graphs[size] = (graph, loss, feature_buffer, label_buffer)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    if config.grad_clip > 0:
+                        clip_grad_norm(self.network.parameters(), config.grad_clip)
+                    optimizer.step()
+                    epoch_loss += float(loss.data)
+                else:
+                    epoch_loss += eager_step(indices)
                 batches += 1
             self.loss_history.append(epoch_loss / max(batches, 1))
             if config.verbose:

@@ -29,6 +29,10 @@ __all__ = ["CorDelNetwork", "CorDelAttention"]
 class CorDelNetwork(Module):
     """Word-level attention over contrasted token groups + MLP classifier."""
 
+    # Forward wraps a contiguous reshape *view* of the caller's batch buffer,
+    # so the shared training loop may capture and replay it.
+    replay_safe = True
+
     def __init__(self, num_attributes: int, embedding_dim: int, hidden_dim: int,
                  classifier_hidden_dim: int, rng: np.random.Generator) -> None:
         super().__init__()

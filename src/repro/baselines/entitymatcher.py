@@ -20,7 +20,7 @@ from ..nn.attention import AdditiveAttention
 from ..nn.layers import MLP, Linear
 from ..nn.module import Module
 from ..nn.recurrent import GRU
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, recomputed_leaf
 from .common import BaselineConfig, SupervisedPairModel
 
 __all__ = ["EntityMatcherNetwork", "EntityMatcher"]
@@ -28,6 +28,10 @@ __all__ = ["EntityMatcherNetwork", "EntityMatcher"]
 
 class EntityMatcherNetwork(Module):
     """Token-level cross-attribute alignment with hierarchical aggregation."""
+
+    # Forward reads its input through recomputed leaves over a stable batch
+    # buffer, so the shared training loop may capture and replay it.
+    replay_safe = True
 
     def __init__(self, num_attributes: int, tokens_per_attribute: int, embedding_dim: int,
                  hidden_dim: int, classifier_hidden_dim: int, rng: np.random.Generator) -> None:
@@ -66,8 +70,13 @@ class EntityMatcherNetwork(Module):
         """``features``: (N, A, 2, L, D) per-attribute token matrices."""
         n, num_attrs, _, length, dim = features.shape
         tokens = features.reshape(n, num_attrs, 2, length, dim)
-        left = Tensor(tokens[:, :, 0].reshape(n, num_attrs * length, dim))
-        right = Tensor(tokens[:, :, 1].reshape(n, num_attrs * length, dim))
+        # The side slices reshape non-contiguous views (numpy must copy), so
+        # wrap them as recomputed leaves: on a graph replay they re-read the
+        # current contents of the caller's batch buffer.
+        left = recomputed_leaf(
+            lambda: tokens[:, :, 0].reshape(n, num_attrs * length, dim))
+        right = recomputed_leaf(
+            lambda: tokens[:, :, 1].reshape(n, num_attrs * length, dim))
         left_repr = self._side_representation(left, right, n)
         right_repr = self._side_representation(right, left, n)
         combined = F.concatenate([left_repr, right_repr], axis=-1)

@@ -305,6 +305,88 @@ def _stage_serve_online(scale: ExperimentScale, seed: int) -> Dict[str, object]:
     }
 
 
+def _stage_train_epoch(scale: ExperimentScale, seed: int) -> Dict[str, object]:
+    """Training-engine micro-benchmark: eager vs graph-replay throughput.
+
+    Fits AdaMEL-hyb (the variant with the largest per-step graph: source +
+    support forwards plus the KL adaptation term) on the Music-3K scenario
+    under three executions of the same numerics:
+
+    * ``legacy``  — eager engine with the pre-fusion *kernel composition*
+      (softmax(energies), sigmoid(mlp(x)), composed KL); note it still shares
+      the engine-level improvements of the fast-path work (buffered backward
+      closures, flat Adam), so ``replay_speedup`` understates the gain over
+      the previous commit's engine;
+    * ``eager``   — eager engine with the fused kernels;
+    * ``replay``  — the graph-replay engine (fused kernels, compiled step).
+
+    Each configuration runs ``rounds`` interleaved fits and keeps its best
+    per-step p50, cancelling machine drift.  ``replay_speedup`` is replay vs
+    the legacy eager path; ``replay_vs_fused_eager`` isolates what graph
+    replay adds on top of kernel fusion.  Deterministic tape counters
+    (``replay_*_ops``, ``*_tensors_per_step``) are emitted so ``--check`` can
+    flag tape regressions that wall-clock noise would hide, and
+    ``train_lockstep`` is 1.0 only if eager and replay produced bit-identical
+    loss histories (float64).
+    """
+    from ..core.variants import create_variant
+    from ..nn.tensor import Tensor
+
+    scenario = build_scenario("music3k", "artist", mode="overlapping",
+                              scale=scale, seed=seed).align()
+    base = scale.adamel_config(epochs=min(scale.adamel_epochs, 12), profile_steps=True)
+    configs = {
+        "legacy": base.with_updates(execution="eager", legacy_kernels=True),
+        "eager": base.with_updates(execution="eager"),
+        "replay": base.with_updates(execution="replay"),
+    }
+    rounds = 3
+    best_p50 = {name: float("inf") for name in configs}
+    best_p95 = {name: float("inf") for name in configs}
+    best_rate = {name: 0.0 for name in configs}
+    tensors_per_step = {name: 0.0 for name in configs}
+    replay_samples: List[float] = []
+    replay_stats: Optional[Dict[str, int]] = None
+    histories: Dict[str, List[float]] = {}
+    for _ in range(rounds):
+        for name, config in configs.items():
+            model = create_variant("adamel-hyb", config)
+            created_before = Tensor._created
+            history = model.fit(scenario)
+            steps = history.step_seconds or [float("nan")]
+            tensors_per_step[name] = (Tensor._created - created_before) / max(len(steps), 1)
+            p50 = float(np.percentile(steps, 50))
+            if p50 < best_p50[name]:
+                best_p50[name] = p50
+                best_p95[name] = float(np.percentile(steps, 95))
+                best_rate[name] = len(steps) / sum(steps)
+                if name == "replay":
+                    replay_samples = list(steps)
+                    replay_stats = model.replay_stats()
+            histories[name] = list(history.total_loss)
+    extras: Dict[str, object] = {
+        "train_steps_per_second": best_rate["replay"],
+        "eager_steps_per_second": best_rate["eager"],
+        "legacy_steps_per_second": best_rate["legacy"],
+        # Ratios of best p50 step times: robust to the occasional slow step a
+        # throughput mean would smear into the comparison.
+        "replay_speedup": best_p50["legacy"] / max(best_p50["replay"], 1e-9),
+        "replay_vs_fused_eager": best_p50["eager"] / max(best_p50["replay"], 1e-9),
+        "eager_step_p50_ms": best_p50["eager"] * 1e3,
+        "eager_step_p95_ms": best_p95["eager"] * 1e3,
+        "legacy_step_p50_ms": best_p50["legacy"] * 1e3,
+        "eager_tensors_per_step": tensors_per_step["eager"],
+        "replay_tensors_per_step": tensors_per_step["replay"],
+        "train_lockstep": float(histories["eager"] == histories["replay"]),
+        "train_step_latency_samples": replay_samples,
+    }
+    if replay_stats is not None:
+        extras["replay_forward_ops"] = float(replay_stats["forward_ops"])
+        extras["replay_backward_ops"] = float(replay_stats["backward_ops"])
+        extras["replay_graph_nodes"] = float(replay_stats["nodes"])
+    return extras
+
+
 def _stage_pipeline_end_to_end(scale: ExperimentScale, seed: int) -> Dict[str, float]:
     """Full linkage engine on Music-3K: train, then ingest→block→score→cluster."""
     from ..core.variants import create_variant
@@ -347,6 +429,8 @@ STAGES: Tuple[BenchStage, ...] = (
     BenchStage("table5", "Table 5 top attributes", _stage_table5),
     BenchStage("table6", "Table 6 contrastive-feature ablation", _stage_table6),
     BenchStage("table7", "Table 7 single-domain benchmarks", _stage_table7),
+    BenchStage("train_epoch", "training engine: eager vs graph replay",
+               _stage_train_epoch),
     BenchStage("pipeline_end_to_end", "end-to-end linkage engine (Music-3K)",
                _stage_pipeline_end_to_end),
     BenchStage("serve_online", "online linkage service latency (Music-3K)",
@@ -462,6 +546,12 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
     stages whose baseline is below ``min_seconds`` (pure noise).  Budgets are
     scaled by :func:`_machine_ratio` so a snapshot recorded on faster hardware
     does not fail every stage on a slower CI runner.
+
+    Besides wall-clock, extras whose key ends in ``_ops`` or
+    ``_tensors_per_step`` are treated as *deterministic* counters (op counts
+    of the compiled training tape, tensor allocations per step): they are
+    machine-independent, so they get only 10% headroom plus one count — a
+    tape regression stays visible even when timing noise would hide it.
     """
     problems: List[Tuple[Optional[str], str]] = []
     if current.get("scale") != baseline.get("scale"):
@@ -475,20 +565,38 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
     current_stages = current.get("stages", {})
     for name, base_entry in baseline_stages.items():
         base_seconds = float(base_entry.get("seconds", 0.0))
-        if base_seconds < min_seconds:
-            continue
         cur_entry = current_stages.get(name)
         if cur_entry is None:
-            problems.append((None, f"stage {name!r} present in baseline but not in this run"))
+            if base_seconds >= min_seconds:
+                problems.append((None, f"stage {name!r} present in baseline but not in this run"))
             continue
+        # Wall-clock budget: only for stages whose baseline is above the
+        # noise floor.  The deterministic counter checks below apply
+        # regardless — they are immune to timing noise by construction.
         cur_seconds = float(cur_entry.get("seconds", 0.0))
         budget = base_seconds * (1.0 + tolerance) * ratio + 0.1
-        if cur_seconds > budget:
+        if base_seconds >= min_seconds and cur_seconds > budget:
             problems.append((name,
                 f"stage {name!r} regressed: {cur_seconds:.2f}s vs baseline "
                 f"{base_seconds:.2f}s (budget {budget:.2f}s at +{tolerance:.0%}"
                 + (f", machine ratio {ratio:.2f}" if ratio != 1.0 else "") + ")"
             ))
+        for key, base_value in base_entry.items():
+            if not (key.endswith("_ops") or key.endswith("_tensors_per_step")):
+                continue
+            cur_value = cur_entry.get(key)
+            if cur_value is None:
+                problems.append((None,
+                    f"stage {name!r} counter {key!r} present in baseline but "
+                    f"missing from this run"))
+                continue
+            counter_budget = float(base_value) * 1.10 + 1.0
+            if float(cur_value) > counter_budget:
+                problems.append((None,
+                    f"stage {name!r} counter {key!r} regressed: "
+                    f"{float(cur_value):.1f} vs baseline {float(base_value):.1f} "
+                    f"(budget {counter_budget:.1f}; deterministic, no re-run)"
+                ))
     return problems
 
 

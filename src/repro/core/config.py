@@ -46,6 +46,24 @@ class AdaMELConfig:
         Global gradient-norm clip (0 disables clipping).
     seed:
         Seed controlling weight init and batch shuffling.
+    execution:
+        Autograd execution mode for training: ``"auto"`` (default) records
+        the per-step graph once and replays it (falling back to the eager
+        engine for odd-shaped batches), ``"replay"`` forces the same,
+        ``"eager"`` rebuilds the graph every step (the historical behaviour;
+        float64 replay is bit-exact with it).  See ``docs/autograd.md``.
+    dtype:
+        Compute dtype for training: ``"float64"`` (default, exact) or
+        ``"float32"`` (≈2× less memory bandwidth, small accuracy drift).
+    support_sampling:
+        How support mini-batches are drawn per step: ``"choice"`` (default,
+        seed-exact historical behaviour — a ``choice(..., replace=False)``
+        per step) or ``"walk"`` (one permutation per epoch, consumed in
+        contiguous windows; same uniform-without-replacement distribution
+        class, far fewer RNG draws).
+    profile_steps:
+        Record per-step wall-clock into ``TrainingHistory.step_seconds``
+        (used by the ``train_epoch`` bench stage).
     """
 
     embedding_dim: int = 48
@@ -63,6 +81,16 @@ class AdaMELConfig:
     dropout: float = 0.0
     seed: int = 0
     verbose: bool = False
+    execution: str = "auto"
+    dtype: str = "float64"
+    support_sampling: str = "choice"
+    profile_steps: bool = False
+    # Reference mode for benchmarking: compose attention/classifier from
+    # elementary ops (softmax(energies), sigmoid(mlp(x))) instead of the
+    # fused kernels — the kernel composition the engine had before the
+    # graph-replay work.  Numerically equivalent, slower; never needed
+    # outside perf comparisons.
+    legacy_kernels: bool = False
 
     def __post_init__(self) -> None:
         require_positive(self.embedding_dim, "embedding_dim")
@@ -83,6 +111,14 @@ class AdaMELConfig:
             raise ValueError(f"invalid feature kinds: {invalid}")
         if self.dropout < 0 or self.dropout >= 1:
             raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+        if self.execution not in ("auto", "replay", "eager"):
+            raise ValueError(
+                f"execution must be 'auto', 'replay' or 'eager', got {self.execution!r}")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be 'float32' or 'float64', got {self.dtype!r}")
+        if self.support_sampling not in ("choice", "walk"):
+            raise ValueError(
+                f"support_sampling must be 'choice' or 'walk', got {self.support_sampling!r}")
 
     def with_updates(self, **changes: object) -> "AdaMELConfig":
         """Return a copy with the given fields replaced."""

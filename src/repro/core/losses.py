@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..nn.dtypes import get_default_dtype
 from ..nn.losses import binary_cross_entropy, kl_divergence
 from ..nn.tensor import Tensor, as_tensor
 
@@ -29,20 +30,46 @@ __all__ = [
     "target_adaptation_loss",
     "attention_centroids",
     "centroid_mean_distances",
+    "support_weights",
     "support_loss",
+    "weighted_support_loss",
     "combine_losses",
 ]
 
 _EPS = 1e-9
 
 
-def base_loss(probabilities: Tensor, labels: np.ndarray) -> Tensor:
+def _as_target_tensor(values: object) -> Tensor:
+    """Coerce labels/constants to a float tensor (pass-through for tensors).
+
+    The graph-replay trainer hands pre-built input-leaf tensors to the loss
+    functions so their buffers can be refreshed per step; plain arrays keep
+    the historical behaviour of being wrapped per call.
+    """
+    if isinstance(values, Tensor):
+        return values
+    return Tensor(np.asarray(values, dtype=get_default_dtype()))
+
+
+def base_loss(probabilities: Tensor, labels: object) -> Tensor:
     """``L_base`` (Eq. 8): mean binary cross-entropy on labeled pairs."""
-    targets = Tensor(np.asarray(labels, dtype=np.float64))
-    return binary_cross_entropy(probabilities, targets)
+    return binary_cross_entropy(probabilities, _as_target_tensor(labels))
 
 
-def target_adaptation_loss(source_attention: Tensor, target_attention_mean: np.ndarray) -> Tensor:
+def _composed_kl(p: Tensor, q: Tensor) -> Tensor:
+    """KL(p‖q) from elementary ops — the pre-fused composition.
+
+    Kept (behind ``AdaMELConfig.legacy_kernels``) as the reference point the
+    ``train_epoch`` benchmark stage measures the fused/replay engines against.
+    """
+    p_safe = p.clip(_EPS, 1.0)
+    q_safe = q.clip(_EPS, 1.0)
+    divergence = (p_safe * (p_safe.log() - q_safe.log())).sum(axis=-1)
+    return divergence.mean() if divergence.ndim > 0 else divergence
+
+
+def target_adaptation_loss(source_attention: Tensor, target_attention_mean: object,
+                           composed: bool = False) -> Tensor:
     """``L_target`` (Eq. 10): KL(mean target attention || per-pair source attention).
 
     Parameters
@@ -54,10 +81,13 @@ def target_adaptation_loss(source_attention: Tensor, target_attention_mean: np.n
         The attention vector averaged over the (batched) unlabeled target
         domain, shape ``(F,)``.  Treated as a constant for the current step,
         mirroring Algorithm 1 where it is computed before the batch loop.
+        May be a pre-built input-leaf :class:`Tensor` (graph-replay trainer).
     """
-    mean_target = Tensor(np.asarray(target_attention_mean, dtype=np.float64))
+    mean_target = _as_target_tensor(target_attention_mean)
     if mean_target.ndim != 1:
         raise ValueError("target_attention_mean must be a 1-D vector of length F")
+    if composed:
+        return _composed_kl(mean_target, source_attention)
     return kl_divergence(mean_target, source_attention, axis=-1)
 
 
@@ -93,6 +123,47 @@ def centroid_mean_distances(attention: np.ndarray, labels: np.ndarray,
     return max(d_plus, _EPS), max(d_minus, _EPS)
 
 
+def support_weights(attention: np.ndarray, labels: np.ndarray,
+                    c_plus: np.ndarray, c_minus: np.ndarray,
+                    mean_distance_plus: float, mean_distance_minus: float) -> np.ndarray:
+    """Per-pair weights of ``L_support`` (Eq. 12), normalised to mean 1.
+
+    Pure numpy on detached attention scores — factored out so the eager loss
+    and the graph-replay trainer (which refreshes the weights through a
+    ``recomputed_leaf`` on every replay) share one code path.
+    """
+    labels = np.asarray(labels)
+    attention = np.asarray(attention)
+    # Follow the attention dtype so a float32 training run stays float32.
+    weights = np.empty(len(labels), dtype=attention.dtype
+                       if attention.dtype in (np.float32, np.float64) else np.float64)
+    positive_mask = labels == 1
+    negative_mask = ~positive_mask
+    weights[positive_mask] = (np.linalg.norm(attention[positive_mask] - c_plus, axis=1)
+                              / max(mean_distance_plus, _EPS))
+    weights[negative_mask] = (np.linalg.norm(attention[negative_mask] - c_minus, axis=1)
+                              / max(mean_distance_minus, _EPS))
+    # Normalise to mean 1: the relative emphasis on deviating pairs is kept,
+    # but the loss scale stays comparable to a plain cross-entropy even when
+    # domain adaptation shrinks the source-domain attention spread (which
+    # would otherwise make the d/d̄ ratios explode).
+    return weights / max(float(weights.mean()), _EPS)
+
+
+def weighted_support_loss(probabilities: Tensor, labels: object, weights: object) -> Tensor:
+    """The differentiable part of ``L_support``: weighted cross-entropy.
+
+    ``labels`` and ``weights`` may be plain arrays or pre-built tensors (the
+    graph-replay trainer passes an input leaf and a recomputed-leaf weight
+    tensor respectively).
+    """
+    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    targets = _as_target_tensor(labels)
+    weight_t = _as_target_tensor(weights)
+    per_sample = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    return (per_sample * weight_t).mean()
+
+
 def support_loss(probabilities: Tensor, attention: Tensor, labels: np.ndarray,
                  c_plus: np.ndarray, c_minus: np.ndarray,
                  mean_distance_plus: float, mean_distance_minus: float) -> Tensor:
@@ -106,24 +177,9 @@ def support_loss(probabilities: Tensor, attention: Tensor, labels: np.ndarray,
     labels = np.asarray(labels, dtype=np.float64)
     if probabilities.shape[0] != labels.shape[0]:
         raise ValueError("probabilities and labels must agree on N")
-    attention_np = attention.data
-    weights = np.empty(len(labels), dtype=np.float64)
-    positive_mask = labels == 1
-    negative_mask = ~positive_mask
-    weights[positive_mask] = (np.linalg.norm(attention_np[positive_mask] - c_plus, axis=1)
-                              / max(mean_distance_plus, _EPS))
-    weights[negative_mask] = (np.linalg.norm(attention_np[negative_mask] - c_minus, axis=1)
-                              / max(mean_distance_minus, _EPS))
-    # Normalise to mean 1: the relative emphasis on deviating pairs is kept,
-    # but the loss scale stays comparable to a plain cross-entropy even when
-    # domain adaptation shrinks the source-domain attention spread (which
-    # would otherwise make the d/d̄ ratios explode).
-    weights = weights / max(float(weights.mean()), _EPS)
-    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
-    targets = Tensor(labels)
-    weight_t = Tensor(weights)
-    per_sample = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
-    return (per_sample * weight_t).mean()
+    weights = support_weights(attention.data, labels, c_plus, c_minus,
+                              mean_distance_plus, mean_distance_minus)
+    return weighted_support_loss(probabilities, labels, weights)
 
 
 def combine_losses(l_base: Optional[Tensor] = None, l_target: Optional[Tensor] = None,

@@ -23,6 +23,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.dtypes import get_default_dtype
 from ..nn.attention import AdditiveAttention
 from ..nn.layers import MLP
 from ..nn.module import Module, Parameter
@@ -57,12 +58,16 @@ class AdaMELNetwork(Module):
         self.embedding_dim = embedding_dim
         self.hidden_dim = config.hidden_dim
         self.attention_dim = config.attention_dim
+        self.legacy_kernels = config.legacy_kernels
 
         # Per-feature affine transformation (Eq. 4): V (F, D, H), b (F, H).
+        # Cast to the active compute-dtype policy (float32 training runs).
+        dtype = get_default_dtype()
         scale = np.sqrt(2.0 / (embedding_dim + config.hidden_dim))
-        self.V = Parameter(rng.normal(0.0, scale, size=(num_features, embedding_dim, config.hidden_dim)),
+        self.V = Parameter(rng.normal(0.0, scale, size=(num_features, embedding_dim,
+                                                        config.hidden_dim)).astype(dtype, copy=False),
                            name="V")
-        self.b = Parameter(np.zeros((num_features, config.hidden_dim)), name="b")
+        self.b = Parameter(np.zeros((num_features, config.hidden_dim), dtype=dtype), name="b")
 
         # Shared attention embedding function f (Eq. 5/6).
         self.attention_fn = AdditiveAttention(config.hidden_dim, config.attention_dim, rng=rng)
@@ -73,45 +78,63 @@ class AdaMELNetwork(Module):
                               activation="relu", dropout=config.dropout, rng=rng)
 
     # ------------------------------------------------------------------ #
-    def latent_features(self, features: np.ndarray) -> Tensor:
+    def latent_features(self, features: "np.ndarray | Tensor") -> Tensor:
         """Eq. (4): per-feature non-linear affine transformation.
 
         Parameters
         ----------
         features:
             Array of shape ``(N, F, D)`` — the token-embedding features ``h``.
+            A pre-built :class:`Tensor` passes through unchanged (the
+            graph-replay trainer feeds a reusable input-leaf tensor here).
 
         Returns
         -------
         Tensor of shape ``(N, F, H)``.
         """
-        features = np.asarray(features, dtype=np.float64)
-        if features.ndim != 3 or features.shape[1] != self.num_features:
+        if isinstance(features, Tensor):
+            h = features
+        else:
+            # Cast to the parameters' dtype so float32 networks keep
+            # computing in float32 at inference time as well.
+            h = Tensor(np.asarray(features, dtype=self.V.data.dtype))
+        if h.ndim != 3 or h.shape[1] != self.num_features:
             raise ValueError(
                 f"expected features of shape (N, {self.num_features}, {self.embedding_dim}), "
-                f"got {features.shape}"
+                f"got {h.shape}"
             )
-        h = Tensor(features)
         # (F, N, D) @ (F, D, H) -> (F, N, H): one GEMM per feature.  The
         # broadcast form (N, F, 1, D) @ (F, D, H) computes the same per-pair
         # dot products but as N*F single-row matmuls, and its backward
         # materialises an (N, F, D, H) temporary that is then summed over N.
+        # ``contiguous()`` collapses the transposed view once so every
+        # downstream elementwise op and flattening reshape (attention, the
+        # classifier input) runs on contiguous memory.
         projected = (h.transpose(1, 0, 2) @ self.V).transpose(1, 0, 2)
+        if not self.legacy_kernels:
+            projected = projected.contiguous()
         projected = projected + self.b
         return F.relu(projected)
 
     def attention_scores(self, latent: Tensor) -> Tensor:
         """Eq. (5)/(6): softmax-normalised attention over the F features."""
+        if self.legacy_kernels:
+            return F.softmax(self.attention_fn.energies(latent), axis=-1)
         return self.attention_fn(latent)
 
     def classify(self, latent: Tensor, attention: Tensor) -> Tensor:
-        """Eq. (7): MLP over the attention-scaled latent features."""
+        """Eq. (7): MLP over the attention-scaled latent features.
+
+        The output layer runs as one fused ``linear+sigmoid`` node
+        (:meth:`repro.nn.layers.MLP.forward_sigmoid`).
+        """
         scaled = F.relu(attention.unsqueeze(-1) * latent)
         flattened = scaled.reshape(scaled.shape[0], self.num_features * self.hidden_dim)
-        logits = self.classifier(flattened)
-        return F.sigmoid(logits.squeeze(-1))
+        if self.legacy_kernels:
+            return F.sigmoid(self.classifier(flattened).squeeze(-1))
+        return self.classifier.forward_sigmoid(flattened).squeeze(-1)
 
-    def forward(self, features: np.ndarray) -> AdaMELForward:
+    def forward(self, features: "np.ndarray | Tensor") -> AdaMELForward:
         """Full forward pass from encoded features to matching probabilities."""
         latent = self.latent_features(features)
         attention = self.attention_scores(latent)

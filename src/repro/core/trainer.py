@@ -13,10 +13,24 @@ implements the mini-batch loop of the paper's algorithms:
 
 The four public variants in :mod:`repro.core.variants` only differ in which
 loss terms are switched on.
+
+Execution engines (``AdaMELConfig.execution``, see ``docs/autograd.md``):
+
+* ``"eager"`` rebuilds the autograd graph for every mini-batch — the
+  historical behaviour, kept as the reference path;
+* ``"auto"``/``"replay"`` record the per-step graph **once** (first full-size
+  mini-batch) into a :class:`~repro.nn.graph.CompiledGraph` and replay it for
+  every following step with zero per-step tensor/closure allocation; the
+  per-epoch target-mean and centroid recomputations replay forward-only
+  graphs over buffers captured once per fit.  Odd-shaped batches (the last
+  partial mini-batch of an epoch) transparently fall back to the eager
+  engine.  With the default float64 dtype the two engines are bit-exact
+  (see ``tests/core/test_replay_lockstep.py``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -29,7 +43,10 @@ from ..data.schema import Schema
 from ..eval.metrics import ClassificationReport, classification_report
 from ..features.encoder import EncodedBatch, PairEncoder
 from ..features.importance import ImportanceReport, aggregate_importance
+from ..nn.dtypes import using_dtype
+from ..nn.graph import CompiledGraph, Tape
 from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor, no_grad, recomputed_leaf
 from ..text.embeddings import HashedEmbedder, TokenEmbedder
 from ..text.tokenizer import Tokenizer
 from ..utils.rng import spawn_rng
@@ -39,8 +56,9 @@ from .losses import (
     base_loss,
     centroid_mean_distances,
     combine_losses,
-    support_loss,
+    support_weights,
     target_adaptation_loss,
+    weighted_support_loss,
 )
 from .model import AdaMELNetwork
 
@@ -55,6 +73,11 @@ class TrainingHistory:
     base_loss: List[float] = field(default_factory=list)
     target_loss: List[float] = field(default_factory=list)
     support_loss: List[float] = field(default_factory=list)
+    # Fraction of encoder-cache lookups served from cache during this fit
+    # (None when the trainer encodes without a cache).
+    encoder_cache_hit_rate: Optional[float] = None
+    # Per-step wall-clock seconds, recorded when config.profile_steps is set.
+    step_seconds: Optional[List[float]] = None
 
     @property
     def epochs(self) -> int:
@@ -63,13 +86,53 @@ class TrainingHistory:
     def final_loss(self) -> float:
         return self.total_loss[-1] if self.total_loss else float("nan")
 
-    def as_dict(self) -> Dict[str, List[float]]:
-        return {
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
             "total_loss": list(self.total_loss),
             "base_loss": list(self.base_loss),
             "target_loss": list(self.target_loss),
             "support_loss": list(self.support_loss),
         }
+        if self.encoder_cache_hit_rate is not None:
+            payload["encoder_cache_hit_rate"] = float(self.encoder_cache_hit_rate)
+        if self.step_seconds is not None:
+            payload["step_seconds"] = list(self.step_seconds)
+        return payload
+
+
+@dataclass
+class _StepLosses:
+    """Handles to one training step's loss tensors (read back per replay)."""
+
+    loss: Tensor
+    base: Tensor
+    target: Optional[Tensor]
+    support: Optional[Tensor]
+
+
+class _SupportWalk:
+    """Per-epoch permutation walk over the support set.
+
+    Draws successive contiguous windows from one shuffled order — the same
+    uniform-without-replacement distribution class as a per-step
+    ``choice(..., replace=False)``, but with a single shuffle per epoch
+    (re-shuffling only when a window would run off the end).
+    """
+
+    def __init__(self, num_items: int, take: int, rng: np.random.Generator) -> None:
+        self.num_items = num_items
+        self.take = take
+        self._rng = rng
+        self._order = rng.permutation(num_items)
+        self._position = 0
+
+    def next_indices(self) -> np.ndarray:
+        if self._position + self.take > self.num_items:
+            self._order = self._rng.permutation(self.num_items)
+            self._position = 0
+        indices = self._order[self._position:self._position + self.take]
+        self._position += self.take
+        return indices
 
 
 class AdaMELTrainer:
@@ -92,6 +155,23 @@ class AdaMELTrainer:
         self.network: Optional[AdaMELNetwork] = None
         self.history: Optional[TrainingHistory] = None
         self.schema: Optional[Schema] = None
+        self._reset_compiled_state()
+
+    def _reset_compiled_state(self) -> None:
+        """Drop graphs compiled against a previous network's buffers."""
+        # One compiled step graph per mini-batch size: the full batch_size
+        # plus (when the epoch length is not a multiple of it) the recurring
+        # final partial batch.  Anything else falls back to eager.
+        self._step_graphs: Dict[int, CompiledGraph] = {}
+        self._step_losses: Dict[int, _StepLosses] = {}
+        self._target_graph: Optional[CompiledGraph] = None
+        self._target_attention: Optional[Tensor] = None
+        self._source_graph: Optional[CompiledGraph] = None
+        self._source_attention: Optional[Tensor] = None
+        # [c_plus, c_minus, d_plus, d_minus]; mutated in place every epoch so
+        # the recomputed-leaf weight closure always reads the current values.
+        self._centroid_state: List[object] = [None, None, None, None]
+        self._step_seconds: List[float] = []
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -111,6 +191,9 @@ class AdaMELTrainer:
             )
         self.encoder = PairEncoder(self.schema, embedder=embedder, tokenizer=tokenizer,
                                    feature_kinds=config.feature_kinds)
+        cache = self.encoder.cache
+        cache_lookups_before = (cache.hits + cache.misses) if cache is not None else 0
+        cache_hits_before = cache.hits if cache is not None else 0
 
         # The labeled pool for L_base is the source domain plus, when the
         # variant uses it, the labeled support set (goal G2: leverage the few
@@ -124,89 +207,357 @@ class AdaMELTrainer:
         source_batch = self.encoder.encode(labeled_pairs)
         target_batch = self.encoder.encode(scenario.target.pairs) if self.uses_target else None
 
-        rng = spawn_rng(config.seed)
-        self.network = AdaMELNetwork(self.encoder.num_features, config.embedding_dim,
-                                     config=config, rng=rng)
-        optimizer = Adam(self.network.parameters(), lr=config.learning_rate)
+        self._reset_compiled_state()
         history = TrainingHistory()
+        with using_dtype(config.dtype):
+            rng = spawn_rng(config.seed)
+            self.network = AdaMELNetwork(self.encoder.num_features, config.embedding_dim,
+                                         config=config, rng=rng)
+            # flatten=True: one fused Adam update over a single contiguous
+            # buffer (must happen before any replay graph is captured, since
+            # it rebinds param.data to views of the flat buffer).
+            optimizer = Adam(self.network.parameters(), lr=config.learning_rate,
+                             flatten=True)
 
-        for epoch in range(config.epochs):
-            epoch_losses = self._train_epoch(epoch, source_batch, target_batch, support_batch,
-                                             optimizer)
-            history.total_loss.append(epoch_losses["total"])
-            history.base_loss.append(epoch_losses["base"])
-            history.target_loss.append(epoch_losses["target"])
-            history.support_loss.append(epoch_losses["support"])
-            if config.verbose:
-                print(f"[{self.variant}] epoch {epoch + 1}/{config.epochs} "
-                      f"loss={epoch_losses['total']:.4f}")
+            for epoch in range(config.epochs):
+                epoch_losses = self._train_epoch(epoch, source_batch, target_batch,
+                                                 support_batch, optimizer)
+                history.total_loss.append(epoch_losses["total"])
+                history.base_loss.append(epoch_losses["base"])
+                history.target_loss.append(epoch_losses["target"])
+                history.support_loss.append(epoch_losses["support"])
+                if config.verbose:
+                    hit_rate = self._fit_cache_hit_rate(cache_lookups_before,
+                                                        cache_hits_before)
+                    cache_note = (f" cache_hit_rate={hit_rate:.2f}"
+                                  if hit_rate is not None else "")
+                    print(f"[{self.variant}] epoch {epoch + 1}/{config.epochs} "
+                          f"loss={epoch_losses['total']:.4f}{cache_note}")
+        history.encoder_cache_hit_rate = self._fit_cache_hit_rate(cache_lookups_before,
+                                                                  cache_hits_before)
+        if config.profile_steps:
+            history.step_seconds = list(self._step_seconds)
         self.history = history
         return history
 
+    def _fit_cache_hit_rate(self, lookups_before: int, hits_before: int) -> Optional[float]:
+        """Encoder-cache hit rate over the lookups issued by *this* fit."""
+        cache = self.encoder.cache if self.encoder is not None else None
+        if cache is None:
+            return None
+        lookups = (cache.hits + cache.misses) - lookups_before
+        if lookups <= 0:
+            return 0.0
+        return (cache.hits - hits_before) / lookups
+
+    # ------------------------------------------------------------------ #
+    # Per-epoch recomputations (Algorithm 1 line 5, Algorithm 2 line 10)
+    # ------------------------------------------------------------------ #
+    def _compile_attention_forward(self, features: np.ndarray):
+        """Capture a forward-only attention graph over a fixed batch.
+
+        The feature buffer is constant across epochs; the parameters are read
+        through live references, so replaying the graph after each optimiser
+        step recomputes the attention in the captured buffers without
+        rebuilding tensors.
+        """
+        network = self.network
+        assert network is not None
+        with no_grad():
+            tape = Tape()
+            with tape:
+                feat_t = Tensor(np.asarray(features, dtype=network.V.data.dtype))
+                latent = network.latent_features(feat_t)
+                attention = network.attention_scores(latent)
+        return CompiledGraph(tape, inputs={}), attention
+
+    def _epoch_target_mean(self, target_batch: Optional[EncodedBatch],
+                           use_graph: bool) -> Optional[np.ndarray]:
+        if not (self.uses_target and target_batch is not None and len(target_batch)):
+            return None
+        if use_graph:
+            if self._target_graph is None:
+                self._target_graph, self._target_attention = \
+                    self._compile_attention_forward(target_batch.features)
+            else:
+                self._target_graph.forward()
+            return self._target_attention.data.mean(axis=0)
+        return self.network.attention_numpy(target_batch.features).mean(axis=0)
+
+    def _epoch_centroids(self, source_batch: EncodedBatch,
+                         support_batch: Optional[EncodedBatch], use_graph: bool) -> bool:
+        if not (self.uses_support and support_batch is not None and len(support_batch)):
+            return False
+        if use_graph:
+            if self._source_graph is None:
+                self._source_graph, self._source_attention = \
+                    self._compile_attention_forward(source_batch.features)
+            else:
+                self._source_graph.forward()
+            source_attention = self._source_attention.data
+        else:
+            source_attention = self.network.attention_numpy(source_batch.features)
+        c_plus, c_minus = attention_centroids(source_attention, source_batch.labels)
+        d_plus, d_minus = centroid_mean_distances(source_attention, source_batch.labels,
+                                                  c_plus, c_minus)
+        self._centroid_state[:] = [c_plus, c_minus, d_plus, d_minus]
+        return True
+
+    # ------------------------------------------------------------------ #
+    # One training step (shared by eager, capture and fallback paths)
+    # ------------------------------------------------------------------ #
+    def _build_step_losses(self, feat_t: Tensor, lab_t: Tensor,
+                           mean_t: Optional[object],
+                           sfeat_t: Optional[Tensor],
+                           slab_t: Optional[Tensor]) -> _StepLosses:
+        """Construct the variant's loss graph for one mini-batch.
+
+        Runs identically with or without an active capture tape, so the
+        replayed graph and the eager fallback execute the same ops in the
+        same order — the basis of the float64 bit-exactness guarantee.
+        """
+        config = self.config
+        network = self.network
+        forward = network.forward(feat_t)
+        l_base = base_loss(forward.probabilities, lab_t)
+        l_target = None
+        if mean_t is not None:
+            l_target = target_adaptation_loss(forward.attention, mean_t,
+                                              composed=config.legacy_kernels)
+        l_support = None
+        if sfeat_t is not None:
+            support_forward = network.forward(sfeat_t)
+            support_attention = support_forward.attention
+            state = self._centroid_state
+            weights = recomputed_leaf(lambda: support_weights(
+                support_attention.data, slab_t.data,
+                state[0], state[1], state[2], state[3]))
+            l_support = weighted_support_loss(support_forward.probabilities, slab_t, weights)
+        loss = combine_losses(l_base=l_base, l_target=l_target, l_support=l_support,
+                              adaptation_weight=config.adaptation_weight,
+                              support_weight=config.support_weight)
+        return _StepLosses(loss=loss, base=l_base, target=l_target, support=l_support)
+
+    def _apply_eager_step(self, losses: _StepLosses, optimizer: Adam) -> None:
+        optimizer.zero_grad()
+        losses.loss.backward()
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.network.parameters(), self.config.grad_clip)
+        optimizer.step()
+
+    def _accumulate_sums(self, sums: Dict[str, float], losses: _StepLosses) -> None:
+        sums["total"] += float(losses.loss.data)
+        sums["base"] += float(losses.base.data)
+        sums["target"] += float(losses.target.data) if losses.target is not None else 0.0
+        sums["support"] += float(losses.support.data) if losses.support is not None else 0.0
+
+    def _make_support_drawer(self, support_batch: Optional[EncodedBatch],
+                             have_support: bool, epoch: int):
+        """Return ``(draw_indices, take)`` for per-step support mini-batches."""
+        if not have_support:
+            return None, 0
+        config = self.config
+        support_rng = spawn_rng(config.seed * 7919 + epoch)
+        take = min(config.batch_size, len(support_batch))
+        if config.support_sampling == "walk":
+            walk = _SupportWalk(len(support_batch), take, support_rng)
+            return walk.next_indices, take
+        return (lambda: support_rng.choice(len(support_batch), size=take, replace=False)), take
+
+    # ------------------------------------------------------------------ #
+    # Epoch loops
+    # ------------------------------------------------------------------ #
     def _train_epoch(self, epoch: int, source_batch: EncodedBatch,
                      target_batch: Optional[EncodedBatch],
                      support_batch: Optional[EncodedBatch], optimizer: Adam) -> Dict[str, float]:
+        if self.config.execution in ("auto", "replay"):
+            return self._train_epoch_replay(epoch, source_batch, target_batch,
+                                            support_batch, optimizer)
+        return self._train_epoch_eager(epoch, source_batch, target_batch,
+                                       support_batch, optimizer)
+
+    def _train_epoch_eager(self, epoch: int, source_batch: EncodedBatch,
+                           target_batch: Optional[EncodedBatch],
+                           support_batch: Optional[EncodedBatch],
+                           optimizer: Adam) -> Dict[str, float]:
+        """Reference engine: rebuild the autograd graph every mini-batch."""
         config = self.config
         network = self.network
         assert network is not None
+        dtype = network.V.data.dtype
+        profile = config.profile_steps
 
-        # Algorithm 1 line 5: attention averaged over the target domain,
-        # recomputed with the current parameters once per epoch.
-        target_mean: Optional[np.ndarray] = None
-        if self.uses_target and target_batch is not None and len(target_batch):
-            target_mean = network.attention_numpy(target_batch.features).mean(axis=0)
-
-        # Algorithm 2 line 10: source-domain attention centroids and mean
-        # distances, used to weight the support-set loss.
-        centroids = None
-        if self.uses_support and support_batch is not None and len(support_batch):
-            source_attention = network.attention_numpy(source_batch.features)
-            c_plus, c_minus = attention_centroids(source_attention, source_batch.labels)
-            d_plus, d_minus = centroid_mean_distances(source_attention, source_batch.labels,
-                                                      c_plus, c_minus)
-            centroids = (c_plus, c_minus, d_plus, d_minus)
+        # Algorithm 1 line 5 / Algorithm 2 line 10, with current parameters.
+        target_mean = self._epoch_target_mean(target_batch, use_graph=False)
+        have_support = self._epoch_centroids(source_batch, support_batch, use_graph=False)
+        draw_support, _ = self._make_support_drawer(support_batch, have_support, epoch)
 
         sampler = BatchSampler(len(source_batch), config.batch_size, shuffle=True,
                                seed=config.seed * 1000 + epoch)
-        support_rng = spawn_rng(config.seed * 7919 + epoch)
         sums = {"total": 0.0, "base": 0.0, "target": 0.0, "support": 0.0}
         num_batches = 0
         for indices in sampler:
+            started = time.perf_counter() if profile else 0.0
             batch = source_batch.subset(indices)
-            forward = network.forward(batch.features)
-            l_base = base_loss(forward.probabilities, batch.labels)
-            l_target = None
-            if target_mean is not None:
-                l_target = target_adaptation_loss(forward.attention, target_mean)
-            l_support = None
-            if centroids is not None and support_batch is not None:
-                # Batch learning (Sec. 4.4): a random support mini-batch per
-                # step rather than the full support set, which would otherwise
-                # be revisited once per source batch and overfit quickly.
-                take = min(config.batch_size, len(support_batch))
-                support_indices = support_rng.choice(len(support_batch), size=take, replace=False)
-                support_view = support_batch.subset(support_indices)
-                support_forward = network.forward(support_view.features)
-                c_plus, c_minus, d_plus, d_minus = centroids
-                l_support = support_loss(support_forward.probabilities, support_forward.attention,
-                                         support_view.labels, c_plus, c_minus, d_plus, d_minus)
-            loss = combine_losses(l_base=l_base, l_target=l_target, l_support=l_support,
-                                  adaptation_weight=config.adaptation_weight,
-                                  support_weight=config.support_weight)
-            optimizer.zero_grad()
-            loss.backward()
-            if config.grad_clip > 0:
-                clip_grad_norm(network.parameters(), config.grad_clip)
-            optimizer.step()
-
-            sums["total"] += float(loss.data)
-            sums["base"] += float(l_base.data)
-            sums["target"] += float(l_target.data) if l_target is not None else 0.0
-            sums["support"] += float(l_support.data) if l_support is not None else 0.0
+            feat_t = Tensor(np.asarray(batch.features, dtype=dtype))
+            lab_t = Tensor(np.asarray(batch.labels, dtype=dtype))
+            sfeat_t = slab_t = None
+            if draw_support is not None:
+                support_view = support_batch.subset(draw_support())
+                sfeat_t = Tensor(np.asarray(support_view.features, dtype=dtype))
+                slab_t = Tensor(np.asarray(support_view.labels, dtype=dtype))
+            losses = self._build_step_losses(feat_t, lab_t, target_mean, sfeat_t, slab_t)
+            self._apply_eager_step(losses, optimizer)
+            self._accumulate_sums(sums, losses)
             num_batches += 1
+            if profile:
+                self._step_seconds.append(time.perf_counter() - started)
         if num_batches == 0:
             raise RuntimeError("no training batches were produced; source domain is empty")
         return {key: value / num_batches for key, value in sums.items()}
+
+    def _compile_step(self, features: np.ndarray, labels: np.ndarray,
+                      target_mean: Optional[np.ndarray],
+                      support_features: Optional[np.ndarray],
+                      support_labels: Optional[np.ndarray]) -> _StepLosses:
+        """Record the per-step graph on the first full-size mini-batch.
+
+        The capture run *is* the first step's forward pass — callers follow it
+        with an eager backward/step, then replay the graph from the second
+        full-size batch on.
+        """
+        network = self.network
+        dtype = network.V.data.dtype
+        inputs: Dict[str, Tensor] = {}
+        tape = Tape()
+        with tape:
+            # np.array (not asarray): the graph's input buffers must own their
+            # memory — a view into the current epoch's permuted arrays would
+            # be overwritten by later replays.
+            feat_t = Tensor(np.array(features, dtype=dtype))
+            lab_t = Tensor(np.array(labels, dtype=dtype))
+            inputs["features"] = feat_t
+            inputs["labels"] = lab_t
+            mean_t: Optional[Tensor] = None
+            if target_mean is not None:
+                mean_t = Tensor(np.asarray(target_mean, dtype=dtype))
+                inputs["target_mean"] = mean_t
+            sfeat_t = slab_t = None
+            if support_features is not None:
+                sfeat_t = Tensor(np.asarray(support_features, dtype=dtype))
+                slab_t = Tensor(np.asarray(support_labels, dtype=dtype))
+                inputs["support_features"] = sfeat_t
+                inputs["support_labels"] = slab_t
+            losses = self._build_step_losses(feat_t, lab_t, mean_t, sfeat_t, slab_t)
+        size = len(labels)
+        self._step_graphs[size] = CompiledGraph(tape, inputs=inputs, loss=losses.loss)
+        self._step_losses[size] = losses
+        return losses
+
+    def _train_epoch_replay(self, epoch: int, source_batch: EncodedBatch,
+                            target_batch: Optional[EncodedBatch],
+                            support_batch: Optional[EncodedBatch],
+                            optimizer: Adam) -> Dict[str, float]:
+        """Fast engine: replay the recorded step graph for full-size batches."""
+        config = self.config
+        network = self.network
+        assert network is not None
+        dtype = network.V.data.dtype
+        profile = config.profile_steps
+
+        target_mean = self._epoch_target_mean(target_batch, use_graph=True)
+        have_support = self._epoch_centroids(source_batch, support_batch, use_graph=True)
+        draw_support, _ = self._make_support_drawer(support_batch, have_support, epoch)
+
+        sampler = BatchSampler(len(source_batch), config.batch_size, shuffle=True,
+                               seed=config.seed * 1000 + epoch)
+
+        # target_mean changes once per epoch, not per step.
+        if target_mean is not None:
+            for graph in self._step_graphs.values():
+                graph.load_inputs({"target_mean": target_mean})
+
+        sums = {"total": 0.0, "base": 0.0, "target": 0.0, "support": 0.0}
+        num_batches = 0
+        for indices in sampler:
+            started = time.perf_counter() if profile else 0.0
+            size = len(indices)
+            support_indices = draw_support() if draw_support is not None else None
+
+            graph = self._step_graphs.get(size)
+            if graph is not None:
+                # Gather each mini-batch straight into the recorded input
+                # buffers with ``np.take(..., out=...)`` — one copy per
+                # input, no intermediate fancy-index arrays.
+                feature_buffer = graph.input_array("features")
+                if source_batch.features.dtype == feature_buffer.dtype:
+                    np.take(source_batch.features, indices, axis=0, out=feature_buffer)
+                else:
+                    feature_buffer[...] = source_batch.features[indices]
+                graph.input_array("labels")[...] = source_batch.labels[indices]
+                if support_indices is not None:
+                    support_buffer = graph.input_array("support_features")
+                    if support_batch.features.dtype == support_buffer.dtype:
+                        np.take(support_batch.features, support_indices, axis=0,
+                                out=support_buffer)
+                    else:
+                        support_buffer[...] = support_batch.features[support_indices]
+                    graph.input_array("support_labels")[...] = \
+                        support_batch.labels[support_indices]
+                graph.step()
+                if config.grad_clip > 0:
+                    clip_grad_norm(network.parameters(), config.grad_clip)
+                optimizer.step()
+                losses = self._step_losses[size]
+            else:
+                features = source_batch.features[indices]
+                labels = source_batch.labels[indices]
+                support_features = support_labels = None
+                if support_indices is not None:
+                    support_features = support_batch.features[support_indices]
+                    support_labels = support_batch.labels[support_indices]
+                if len(self._step_graphs) < 8:
+                    # First sighting of this batch size: record a graph for it
+                    # (the capture run doubles as this step's forward pass).
+                    # In practice there are at most two sizes — batch_size and
+                    # the recurring final partial batch.
+                    losses = self._compile_step(features, labels, target_mean,
+                                                support_features, support_labels)
+                else:
+                    # Pathological shape churn: stay eager rather than caching
+                    # ever more graphs.
+                    feat_t = Tensor(np.asarray(features, dtype=dtype))
+                    lab_t = Tensor(np.asarray(labels, dtype=dtype))
+                    sfeat_t = slab_t = None
+                    if support_features is not None:
+                        sfeat_t = Tensor(np.asarray(support_features, dtype=dtype))
+                        slab_t = Tensor(np.asarray(support_labels, dtype=dtype))
+                    losses = self._build_step_losses(feat_t, lab_t, target_mean,
+                                                     sfeat_t, slab_t)
+                self._apply_eager_step(losses, optimizer)
+
+            self._accumulate_sums(sums, losses)
+            num_batches += 1
+            if profile:
+                self._step_seconds.append(time.perf_counter() - started)
+        if num_batches == 0:
+            raise RuntimeError("no training batches were produced; source domain is empty")
+        return {key: value / num_batches for key, value in sums.items()}
+
+    def replay_stats(self) -> Optional[Dict[str, int]]:
+        """Op counts of the compiled step graph (None before compilation).
+
+        Exposed so the bench harness can gate tape regressions on
+        deterministic counters rather than wall-clock alone.
+        """
+        if not self._step_graphs:
+            return None
+        graph = self._step_graphs[max(self._step_graphs)]
+        return {
+            "forward_ops": int(graph.num_forward_ops),
+            "backward_ops": int(graph.num_backward_ops),
+            "nodes": int(graph.num_nodes),
+        }
 
     # ------------------------------------------------------------------ #
     # Inference

@@ -23,6 +23,7 @@ from ..core.trainer import AdaMELTrainer
 from ..core.variants import create_variant
 from ..data.schema import Schema
 from ..features.cache import EncodingCache
+from ..nn.dtypes import using_dtype
 from ..features.encoder import PairEncoder
 from ..text.embeddings import HashedEmbedder
 from ..text.tokenizer import Tokenizer
@@ -130,7 +131,10 @@ def load_model(path: Union[str, Path],
             f"rebuilt encoder has {encoder.num_features}"
         )
 
-    network = AdaMELNetwork(encoder.num_features, config.embedding_dim, config=config)
+    # Rebuild under the bundle's compute-dtype policy so a float32-trained
+    # model loads as a float32 network and round-trips bit-exactly.
+    with using_dtype(config.dtype):
+        network = AdaMELNetwork(encoder.num_features, config.embedding_dim, config=config)
     network.load_state_dict(load_npz(path / _WEIGHTS_FILE))
     network.eval()
 

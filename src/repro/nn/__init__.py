@@ -7,7 +7,15 @@ losses and optimisers that the AdaMEL model and its deep baselines require.
 
 from . import functional
 from .attention import AdditiveAttention, ScaledDotProductAttention, SelfAttentionEncoder
+from .dtypes import DtypePolicy, get_default_dtype, set_default_dtype, using_dtype
+from .fused import (
+    fused_attention_softmax,
+    fused_kl_divergence,
+    fused_linear_sigmoid,
+    fused_softmax_cross_entropy,
+)
 from .gradcheck import check_gradient, numerical_gradient
+from .graph import CompiledGraph, GraphShapeMismatch, Tape
 from .layers import MLP, Dropout, Embedding, Linear, ReLU, Sequential, Sigmoid, Tanh
 from .losses import (
     binary_cross_entropy,
@@ -19,7 +27,8 @@ from .losses import (
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .recurrent import GRU, GRUCell, RNNCell
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (Tensor, as_tensor, concatenate, is_grad_enabled, no_grad,
+                     recomputed_leaf, stack)
 
 __all__ = [
     "functional",
@@ -29,6 +38,18 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "recomputed_leaf",
+    "Tape",
+    "CompiledGraph",
+    "GraphShapeMismatch",
+    "DtypePolicy",
+    "get_default_dtype",
+    "set_default_dtype",
+    "using_dtype",
+    "fused_linear_sigmoid",
+    "fused_attention_softmax",
+    "fused_softmax_cross_entropy",
+    "fused_kl_divergence",
     "Module",
     "Parameter",
     "Linear",

@@ -16,6 +16,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .fused import fused_attention_softmax
 from .layers import Linear
 from .module import Module, Parameter
 from .tensor import Tensor, as_tensor
@@ -62,8 +63,13 @@ class AdditiveAttention(Module):
         return projected @ self.a
 
     def forward(self, x: Tensor) -> Tensor:
-        """Return softmax-normalised attention scores over the feature axis."""
-        return F.softmax(self.energies(x), axis=-1)
+        """Return softmax-normalised attention scores over the feature axis.
+
+        Runs as one fused graph node (projection GEMM + tanh + energy dot +
+        softmax with an analytic jacobian) — the eager composition survives as
+        :meth:`energies` for callers that need unnormalised scores.
+        """
+        return fused_attention_softmax(as_tensor(x), self.W, self.a)
 
 
 class ScaledDotProductAttention(Module):

@@ -10,7 +10,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concatenate, stack
+from .tensor import Tensor, as_tensor, concatenate, recomputed_leaf, stack
 
 __all__ = [
     "relu",
@@ -50,7 +50,9 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     sum to one.
     """
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    # The detached max-shift is a data-dependent constant: ``recomputed_leaf``
+    # re-evaluates it per graph replay instead of freezing it at record time.
+    shifted = x - recomputed_leaf(lambda: x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -58,7 +60,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Logarithm of the softmax, computed stably."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - recomputed_leaf(lambda: x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -69,8 +71,14 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
-    return x * Tensor(mask)
+    shape = x.shape
+    dtype = x.data.dtype
+    # A recomputed leaf draws a fresh mask per graph replay, consuming the
+    # generator exactly as an eager step of the same shape would.  The mask
+    # follows the input dtype so float32-policy training stays float32.
+    mask = recomputed_leaf(
+        lambda: (rng.random(shape) >= p).astype(dtype) / (1.0 - p))
+    return x * mask
 
 
 def normalize(x: Tensor, axis: int = -1, eps: float = _EPS) -> Tensor:

@@ -1,0 +1,277 @@
+"""Fused kernels for the autograd hot paths profiled in the AdaMEL trainer.
+
+Each kernel collapses a chain of eager ops into a *single* graph node with an
+analytic backward — fewer python closures and ``Tensor`` allocations per step
+in eager mode, and a shorter forward program when captured on a
+:class:`~repro.nn.graph.Tape`.  All four are validated against
+finite-difference gradients in ``tests/nn/test_fused.py``:
+
+* :func:`fused_linear_sigmoid` — ``sigmoid(x @ W.T + b)`` (the classifier
+  head Θ's output layer, Eq. 7);
+* :func:`fused_attention_softmax` — ``softmax_j(a^T tanh(W x_j))`` (the whole
+  attention embedding function ``f``, Eq. 5/6);
+* :func:`fused_softmax_cross_entropy` — mean NLL from logits and integer
+  class labels (the deep baselines' heads);
+* :func:`fused_kl_divergence` — ``KL(p ‖ q)`` with the clip-to-``[eps, 1]``
+  semantics of the eager implementation (the ``L_target`` adaptation loss,
+  Eq. 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _Capture, _unbroadcast, as_tensor, is_grad_enabled
+
+__all__ = ["fused_linear_sigmoid", "fused_attention_softmax",
+           "fused_softmax_cross_entropy", "fused_kl_divergence"]
+
+_EPS = 1e-9
+
+
+def _node(data: np.ndarray, parents: Tuple[Tensor, ...],
+          backward: Callable[[np.ndarray], None],
+          forward: Optional[Callable[[], None]] = None) -> Tensor:
+    """Create a single fused graph node (mirrors ``Tensor._make_child``)."""
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires)
+    if requires:
+        out._parents = parents
+        out._backward = backward
+    tape = _Capture.tape
+    if tape is not None:
+        out._forward = forward
+        tape.nodes.append(out)
+    return out
+
+
+def fused_linear_sigmoid(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``sigmoid(x @ weight.T + bias)`` as one op.
+
+    ``x`` may have arbitrary leading dimensions over a trailing feature axis;
+    ``weight`` is ``(out_features, in_features)`` and ``bias``
+    ``(out_features,)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    bias_t = as_tensor(bias) if bias is not None else None
+
+    z = x.data @ weight.data.T
+    if bias_t is not None:
+        z = z + bias_t.data
+    y = 1.0 / (1.0 + np.exp(-z))
+    scratch: dict = {}
+
+    def backward(grad: np.ndarray) -> None:
+        # Scratch buffers: allocated once, reused on every graph replay (an
+        # eager closure only runs once).  Same ufunc sequence as the
+        # unbuffered expressions — values stay bit-identical.
+        if not scratch:
+            # np.empty (not empty_like): these buffers are reshaped below, and
+            # a reshape of a non-C-contiguous buffer would silently return a
+            # copy — matmul would fill the copy and the buffer would stay
+            # uninitialised.  C-contiguous allocation keeps reshape a view.
+            scratch["s"] = np.empty(y.shape, dtype=y.dtype)
+            scratch["one_minus"] = np.empty(y.shape, dtype=y.dtype)
+            scratch["gx"] = np.empty(x.data.shape, dtype=x.data.dtype)
+            scratch["gw"] = np.empty(weight.data.shape, dtype=weight.data.dtype)
+            if bias_t is not None:
+                scratch["gb"] = np.empty(bias_t.data.shape, dtype=bias_t.data.dtype)
+        # d loss / d z through the sigmoid, then the standard affine grads.
+        s = scratch["s"]
+        np.multiply(grad, y, out=s)
+        np.subtract(1.0, y, out=scratch["one_minus"])
+        np.multiply(s, scratch["one_minus"], out=s)
+        s2 = s.reshape(-1, s.shape[-1])
+        x2 = x.data.reshape(-1, x.data.shape[-1])
+        gx = scratch["gx"]
+        np.matmul(s, weight.data, out=gx.reshape(s.shape[:-1] + (weight.data.shape[1],)))
+        x._accumulate(gx)
+        weight._accumulate(np.matmul(s2.T, x2, out=scratch["gw"]))
+        if bias_t is not None:
+            bias_t._accumulate(np.sum(s2, axis=0, out=scratch["gb"]))
+
+    def forward() -> None:
+        np.matmul(x.data, weight.data.T, out=y)
+        if bias_t is not None:
+            np.add(y, bias_t.data, out=y)
+        np.negative(y, out=y)
+        np.exp(y, out=y)
+        np.add(y, 1.0, out=y)
+        np.divide(1.0, y, out=y)
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+    return _node(y, parents, backward, forward)
+
+
+def fused_attention_softmax(x: Tensor, W: Tensor, a: Tensor) -> Tensor:
+    """``softmax_j(a^T tanh(W x_j))`` over the trailing-but-one axis.
+
+    ``x`` is ``(..., F, H)``; the result is ``(..., F)`` with rows summing to
+    one.  Equivalent to ``F.softmax(AdditiveAttention.energies(x), axis=-1)``
+    collapsed into one node: the projection runs as a single GEMM over the
+    flattened leading axes, and the softmax jacobian is applied analytically.
+    """
+    x = as_tensor(x)
+    W = as_tensor(W)
+    a = as_tensor(a)
+    if x.ndim < 2:
+        raise ValueError("fused_attention_softmax expects input of shape (..., F, H)")
+    lead = x.data.shape[:-1]
+    hidden = x.data.shape[-1]
+
+    # Record-time forward; the same buffers are refreshed in place on replay.
+    t = np.tanh(x.data.reshape(-1, hidden) @ W.data.T)     # (M, H')
+    e = (t @ a.data).reshape(lead)                         # (..., F)
+    m = e.max(axis=-1, keepdims=True)
+    ex = np.exp(e - m)
+    s = ex.sum(axis=-1, keepdims=True)
+    y = ex / s
+
+    scratch: dict = {}
+
+    def backward(grad: np.ndarray) -> None:
+        if not scratch:
+            # C-contiguous allocations: gy/gx are reshaped below, and reshape
+            # must stay a view (see fused_linear_sigmoid).
+            scratch["gy"] = np.empty(y.shape, dtype=y.dtype)
+            scratch["dot"] = np.empty(lead[:-1] + (1,), dtype=y.dtype)
+            scratch["ga"] = np.empty(a.data.shape, dtype=a.data.dtype)
+            scratch["gz"] = np.empty(t.shape, dtype=t.dtype)
+            scratch["tt"] = np.empty(t.shape, dtype=t.dtype)
+            scratch["gw"] = np.empty(W.data.shape, dtype=W.data.dtype)
+            scratch["gx"] = np.empty(x.data.shape, dtype=x.data.dtype)
+        gy, dot = scratch["gy"], scratch["dot"]
+        # Softmax jacobian: g_e = y * (g - <g, y>).
+        np.multiply(grad, y, out=gy)
+        np.sum(gy, axis=-1, keepdims=True, out=dot)
+        np.subtract(grad, dot, out=gy)
+        np.multiply(y, gy, out=gy)
+        ge = gy.reshape(-1)                                # (M,)
+        x2 = x.data.reshape(-1, hidden)
+        a._accumulate(np.matmul(t.T, ge, out=scratch["ga"]))
+        gz, tt = scratch["gz"], scratch["tt"]
+        np.multiply(ge[:, None], a.data, out=gz)
+        np.power(t, 2, out=tt)
+        np.subtract(1.0, tt, out=tt)
+        np.multiply(gz, tt, out=gz)                        # (M, H')
+        W._accumulate(np.matmul(gz.T, x2, out=scratch["gw"]))
+        gx = scratch["gx"]
+        np.matmul(gz, W.data, out=gx.reshape(-1, hidden))
+        x._accumulate(gx)
+
+    def forward() -> None:
+        np.matmul(x.data.reshape(-1, hidden), W.data.T, out=t)
+        np.tanh(t, out=t)
+        np.matmul(t, a.data, out=e.reshape(-1))
+        np.amax(e, axis=-1, keepdims=True, out=m)
+        np.subtract(e, m, out=ex)
+        np.exp(ex, out=ex)
+        np.sum(ex, axis=-1, keepdims=True, out=s)
+        np.divide(ex, s, out=y)
+
+    return _node(y, (x, W, a), backward, forward)
+
+
+def fused_softmax_cross_entropy(logits: Tensor, target_indices: np.ndarray) -> Tensor:
+    """Mean multi-class cross-entropy from ``(N, C)`` logits, as one op.
+
+    ``target_indices`` is a plain integer array; it is re-read (and
+    re-converted) on every call, so callers that capture this op may refresh
+    the array in place between replays regardless of its integer dtype.
+    """
+    logits = as_tensor(logits)
+    if logits.ndim != 2:
+        raise ValueError("fused_softmax_cross_entropy expects 2-D logits (batch, classes)")
+    targets = np.asarray(target_indices, dtype=np.int64)
+    if targets.shape != (logits.shape[0],):
+        raise ValueError("target_indices must have shape (batch,)")
+    rows = np.arange(targets.shape[0])
+
+    def current_targets() -> np.ndarray:
+        # Read through the caller's array on every call: asarray would copy a
+        # non-int64 input at record time, silently freezing the labels for
+        # replays.
+        return np.asarray(target_indices, dtype=np.int64)
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    ex = np.exp(shifted)
+    denom = ex.sum(axis=1, keepdims=True)
+    log_probs = shifted - np.log(denom)
+    loss = np.asarray(-(log_probs[rows, targets].mean()))
+
+    def backward(grad: np.ndarray) -> None:
+        g = ex / denom                                     # softmax
+        g[rows, current_targets()] -= 1.0
+        g *= np.asarray(grad) / float(targets.shape[0])
+        logits._accumulate(g)
+
+    def forward() -> None:
+        np.subtract(logits.data, logits.data.max(axis=1, keepdims=True), out=shifted)
+        np.exp(shifted, out=ex)
+        np.sum(ex, axis=1, keepdims=True, out=denom)
+        np.subtract(shifted, np.log(denom), out=log_probs)
+        loss[...] = -(log_probs[rows, current_targets()].mean())
+
+    return _node(loss, (logits,), backward, forward)
+
+
+def fused_kl_divergence(p: Tensor, q: Tensor, axis: int = -1,
+                        eps: float = _EPS) -> Tensor:
+    """``KL(p ‖ q)`` summed over ``axis``, averaged over the rest, as one op.
+
+    Matches the eager composition in :func:`repro.nn.losses.kl_divergence`
+    including its clip-to-``[eps, 1]`` guards: the gradient is masked where an
+    operand was clipped, exactly as the eager ``clip`` backward would.  Both
+    operands may broadcast (the ``L_target`` use has ``p`` of shape ``(F,)``
+    against ``q`` of shape ``(N, F)``); gradients are summed back to each
+    operand's shape.
+    """
+    p = as_tensor(p)
+    q = as_tensor(q)
+
+    ps = np.clip(p.data, eps, 1.0)
+    qs = np.clip(q.data, eps, 1.0)
+    log_ps = np.log(ps)
+    log_qs = np.log(qs)
+    log_ratio = log_ps - log_qs
+    prod = ps * log_ratio
+    div = prod.sum(axis=axis)
+    count = max(int(np.asarray(div).size), 1)
+    loss = np.asarray(np.asarray(div).mean())
+
+    scratch: dict = {}
+
+    def backward(grad: np.ndarray) -> None:
+        scale = np.asarray(grad) / float(count)
+        if q.requires_grad:
+            if "gq" not in scratch:
+                scratch["gq"] = np.empty(prod.shape, dtype=q.data.dtype)
+                scratch["mq"] = np.empty(q.data.shape, dtype=bool)
+            gq, mq = scratch["gq"], scratch["mq"]
+            # -(ps/qs) masked where q was clipped, scaled by the mean factor.
+            np.divide(ps, qs, out=gq)
+            np.negative(gq, out=gq)
+            np.greater_equal(q.data, eps, out=mq)
+            mq &= q.data <= 1.0
+            gq *= mq
+            gq *= scale
+            q._accumulate(_unbroadcast(gq, q.data.shape))
+        if p.requires_grad:
+            mask_p = (p.data >= eps) & (p.data <= 1.0)
+            gp = np.where(mask_p, log_ratio + 1.0, 0.0) * scale
+            p._accumulate(_unbroadcast(np.broadcast_to(gp, prod.shape).astype(p.data.dtype),
+                                       p.data.shape))
+
+    def forward() -> None:
+        np.clip(p.data, eps, 1.0, out=ps)
+        np.clip(q.data, eps, 1.0, out=qs)
+        np.log(ps, out=log_ps)
+        np.log(qs, out=log_qs)
+        np.subtract(log_ps, log_qs, out=log_ratio)
+        np.multiply(ps, log_ratio, out=prod)
+        loss[...] = prod.sum(axis=axis).mean()
+
+    return _node(loss, (p, q), backward, forward)

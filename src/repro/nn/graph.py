@@ -1,0 +1,184 @@
+"""Graph capture & replay: the training fast path of the autograd engine.
+
+The eager engine in :mod:`repro.nn.tensor` rebuilds its graph on every
+forward — one python closure, one output array and one ``Tensor`` object per
+op, plus a topological sort per ``backward()``.  For model *training* the
+per-step graph is static (same ops, same shapes every mini-batch), so that
+construction cost can be paid once and amortised over the whole run:
+
+* :class:`Tape` — a ``with`` context during which every tensor op records a
+  *forward-recompute* closure that re-evaluates the op in place into the
+  buffers allocated at record time (see ``tensor.py``).
+* :class:`CompiledGraph` — wraps a captured tape: refreshes the registered
+  input leaves (``np.copyto`` into their existing buffers), replays the
+  forward program, and re-runs the backward pass over the topological order
+  recorded from the eager engine — so gradient accumulation happens in the
+  same order, with the same rounding, as an eager step.  Gradient buffers are
+  retained across steps and zeroed in place.
+
+Invariants the capture relies on (enforced/observed by the callers):
+
+* optimisers update ``param.data`` **in place** (``-=``), never by rebinding
+  the attribute to a fresh array — recorded views (e.g. ``weight.T``) alias
+  the original buffer;
+* data-dependent constants inside the captured region are created through
+  :func:`repro.nn.tensor.recomputed_leaf` so they are refreshed per replay;
+* input shapes are frozen at record time — :meth:`CompiledGraph.step` raises
+  :class:`GraphShapeMismatch` for any other shape and the caller falls back
+  to the eager engine (e.g. the last partial mini-batch of an epoch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from .tensor import Tensor, _Capture, _topological_order
+
+__all__ = ["Tape", "CompiledGraph", "GraphShapeMismatch"]
+
+
+class GraphShapeMismatch(RuntimeError):
+    """An input fed to ``replay`` does not match the recorded buffer shape."""
+
+
+class Tape:
+    """Context manager that records tensor ops for later replay.
+
+    While active, every op appends its output node to :attr:`nodes` (in
+    creation order, which is a valid execution order: parents are always
+    created before children).  Capture does not change eager semantics — the
+    recording run computes exactly what an uncaptured run would.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[Tensor] = []
+
+    def __enter__(self) -> "Tape":
+        if _Capture.tape is not None:
+            raise RuntimeError("a Tape is already capturing; captures do not nest")
+        _Capture.tape = self
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _Capture.tape = None
+
+
+class CompiledGraph:
+    """A recorded computation that can be replayed for new input values.
+
+    Parameters
+    ----------
+    tape:
+        The tape the computation was captured on.
+    inputs:
+        Named leaf tensors whose ``data`` buffers are refreshed on every
+        replay.  Shapes are frozen at record time.
+    loss:
+        The scalar output to backpropagate from.  Omit for forward-only
+        graphs (e.g. the per-epoch attention recomputation).
+    """
+
+    def __init__(self, tape: Tape, inputs: Mapping[str, Tensor],
+                 loss: Optional[Tensor] = None) -> None:
+        self._inputs: Dict[str, Tensor] = dict(inputs)
+        self._forward_program = [node for node in tape.nodes if node._forward is not None]
+        # Bound-method tuple: the replay loop dispatches straight to the
+        # closures without per-step attribute lookups.
+        self._forward_fns = tuple(node._forward for node in self._forward_program)
+        self._loss = loss
+        self._topo: List[Tensor] = []
+        self._seed: Optional[np.ndarray] = None
+        if loss is not None:
+            if loss.data.size != 1:
+                raise ValueError("loss must be a scalar tensor")
+            if not loss.requires_grad:
+                raise ValueError("loss does not require grad; was the capture "
+                                 "run under no_grad()?")
+            # The exact traversal the eager engine would use — recorded once,
+            # replayed every step, so accumulation order (and floating-point
+            # rounding) matches eager backward bit for bit.
+            self._topo = _topological_order(loss)
+            self._seed = np.ones_like(loss.data)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (bench counters)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_forward_ops(self) -> int:
+        """Ops re-executed per replayed forward (views/leaves excluded)."""
+        return len(self._forward_program)
+
+    @property
+    def num_backward_ops(self) -> int:
+        """Nodes carrying a backward closure on the recorded loss path."""
+        return sum(1 for node in self._topo if node._backward is not None)
+
+    @property
+    def num_nodes(self) -> int:
+        """All nodes recorded on the tape (including views and leaves)."""
+        return len(self._topo) if self._topo else len(self._forward_program)
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def load_inputs(self, inputs: Mapping[str, np.ndarray]) -> None:
+        """Copy new values into the recorded input buffers (shape-checked)."""
+        for name, value in inputs.items():
+            try:
+                target = self._inputs[name]
+            except KeyError:
+                raise KeyError(f"unknown graph input {name!r}; registered: "
+                               f"{sorted(self._inputs)}") from None
+            value = np.asarray(value)
+            if value.shape != target.data.shape:
+                raise GraphShapeMismatch(
+                    f"input {name!r} has shape {value.shape} but the graph was "
+                    f"recorded for {target.data.shape}"
+                )
+            np.copyto(target.data, value)
+
+    def input_array(self, name: str) -> np.ndarray:
+        """The recorded buffer for input ``name`` (for in-place producers).
+
+        Callers may fill this buffer directly — e.g. ``np.take(source, idx,
+        axis=0, out=graph.input_array("features"))`` — instead of building a
+        gathered temporary and paying a second copy through ``load_inputs``.
+        """
+        return self._inputs[name].data
+
+    def forward(self, inputs: Optional[Mapping[str, np.ndarray]] = None) -> None:
+        """Replay the forward program for the given input values."""
+        if inputs:
+            self.load_inputs(inputs)
+        for fn in self._forward_fns:
+            fn()
+
+    def zero_grads(self) -> None:
+        """Zero every retained gradient buffer in place."""
+        for node in self._topo:
+            grad = node.grad
+            if grad is not None:
+                grad.fill(0.0)
+
+    def backward(self) -> None:
+        """Replay the backward pass; gradients accumulate into the leaves."""
+        if self._loss is None:
+            raise RuntimeError("this graph was compiled without a loss")
+        self.zero_grads()
+        # Mirrors Tensor.backward() over the recorded topological order.
+        self._loss._accumulate(self._seed)
+        for node in reversed(self._topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def step(self, inputs: Optional[Mapping[str, np.ndarray]] = None) -> float:
+        """One training step: refresh inputs, forward, backward.
+
+        Returns the (python float) loss value so callers do not have to touch
+        the buffer before the next replay overwrites it.
+        """
+        self.forward(inputs)
+        self.backward()
+        return float(self._loss.data)

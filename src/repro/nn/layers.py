@@ -8,6 +8,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .fused import fused_linear_sigmoid
 from .module import Module, Parameter
 from .tensor import Tensor, as_tensor
 
@@ -139,6 +140,18 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.network(x)
+
+    def forward_sigmoid(self, x: Tensor) -> Tensor:
+        """Forward pass with the output layer fused into ``sigmoid(xW^T+b)``.
+
+        Equivalent to ``sigmoid(self(x))`` but the final affine + sigmoid run
+        as one graph node (:func:`repro.nn.fused.fused_linear_sigmoid`) — the
+        shape AdaMEL's classifier head Θ uses every training step.
+        """
+        for layer in self.network._layers[:-1]:
+            x = layer(x)
+        head: Linear = self.network._layers[-1]
+        return fused_linear_sigmoid(x, head.weight, head.bias)
 
 
 class Embedding(Module):

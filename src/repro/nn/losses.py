@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from .fused import fused_kl_divergence, fused_softmax_cross_entropy
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -54,16 +55,12 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor,
 
 
 def cross_entropy(logits: Tensor, target_indices: np.ndarray) -> Tensor:
-    """Mean multi-class cross-entropy from logits and integer class labels."""
-    logits = as_tensor(logits)
-    targets = np.asarray(target_indices, dtype=np.int64)
-    if logits.ndim != 2:
-        raise ValueError("cross_entropy expects 2-D logits (batch, classes)")
-    shifted = logits - Tensor(logits.data.max(axis=1, keepdims=True))
-    log_probs = shifted - shifted.exp().sum(axis=1, keepdims=True).log()
-    rows = np.arange(len(targets))
-    picked = log_probs[rows, targets]
-    return -picked.mean()
+    """Mean multi-class cross-entropy from logits and integer class labels.
+
+    Runs as one fused softmax+NLL node with an analytic backward
+    (:func:`repro.nn.fused.fused_softmax_cross_entropy`).
+    """
+    return fused_softmax_cross_entropy(as_tensor(logits), target_indices)
 
 
 def kl_divergence(p: Tensor, q: Tensor, axis: int = -1) -> Tensor:
@@ -74,12 +71,7 @@ def kl_divergence(p: Tensor, q: Tensor, axis: int = -1) -> Tensor:
     attention distribution; the divergence is summed over the ``F`` features
     and averaged over the batch.
     """
-    p = as_tensor(p)
-    q = as_tensor(q)
-    p_safe = p.clip(_EPS, 1.0)
-    q_safe = q.clip(_EPS, 1.0)
-    divergence = (p_safe * (p_safe.log() - q_safe.log())).sum(axis=axis)
-    return divergence.mean() if divergence.ndim > 0 else divergence
+    return fused_kl_divergence(as_tensor(p), as_tensor(q), axis=axis, eps=_EPS)
 
 
 def mse_loss(predictions: Tensor, targets: Tensor) -> Tensor:

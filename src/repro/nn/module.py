@@ -112,7 +112,9 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {values.shape}"
                 )
-            param.data = np.asarray(values, dtype=np.float64).copy()
+            # Write in place, preserving the parameter's dtype: compiled
+            # graphs and optimiser state hold references to this buffer.
+            np.copyto(param.data, np.asarray(values))
 
     # ------------------------------------------------------------------ #
     # Forward

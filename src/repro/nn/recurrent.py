@@ -82,11 +82,31 @@ class GRU(Module):
 
     def _run_direction(self, cell: GRUCell, sequence: Tensor, reverse: bool) -> Tuple[Tensor, Tensor]:
         batch, length, _ = sequence.shape
+        input_size = cell.input_size
+        # ``Linear([x, h])`` decomposes into ``x @ Wx^T + h @ Wh^T + b``, so
+        # the input-side projections of all three gates can be hoisted out of
+        # the time loop as one big GEMM each.  Only the (much smaller)
+        # hidden-side matmuls and the gate nonlinearities remain per token —
+        # and the two per-token ``concatenate`` ops disappear entirely.
+        flat = sequence.reshape(batch * length, input_size)
+        gates = (cell.reset_gate, cell.update_gate, cell.candidate)
+        x_parts = []
+        hidden_weights = []
+        for gate in gates:
+            x_proj = flat @ gate.weight[:, :input_size].T + gate.bias
+            x_parts.append(x_proj.reshape(batch, length, self.hidden_size))
+            hidden_weights.append(gate.weight[:, input_size:].T)
+        x_reset, x_update, x_candidate = x_parts
+        w_reset, w_update, w_candidate = hidden_weights
+
         hidden = Tensor(np.zeros((batch, self.hidden_size)))
         steps: List[Tensor] = []
         time_indices = range(length - 1, -1, -1) if reverse else range(length)
         for t in time_indices:
-            hidden = cell(sequence[:, t, :], hidden)
+            reset = F.sigmoid(x_reset[:, t, :] + hidden @ w_reset)
+            update = F.sigmoid(x_update[:, t, :] + hidden @ w_update)
+            candidate = F.tanh(x_candidate[:, t, :] + (reset * hidden) @ w_candidate)
+            hidden = update * hidden + (1.0 - update) * candidate
             steps.append(hidden)
         if reverse:
             steps = list(reversed(steps))

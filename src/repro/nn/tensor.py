@@ -9,25 +9,54 @@ broadcasting, matrix multiplication, reductions, common nonlinearities,
 shape manipulation, and a ``backward()`` that accumulates gradients into
 leaf tensors.
 
+Two execution modes share these ops:
+
+* **eager** (the default): every op allocates an output tensor and, when
+  gradients are required, a backward closure; ``backward()`` walks the freshly
+  built graph.
+* **graph replay** (:mod:`repro.nn.graph`): while a :class:`~repro.nn.graph.Tape`
+  is capturing, every op additionally records a *forward-recompute* closure
+  that re-evaluates the op **in place** into the buffers allocated at record
+  time.  A captured graph can then be replayed for new input values with zero
+  per-step tensor/closure allocation — the training fast path.
+
 Gradient correctness is validated by finite-difference checks in
 ``tests/nn/test_gradcheck.py``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .dtypes import get_default_dtype
+
 ArrayLike = Union[np.ndarray, float, int, Sequence[float], "Tensor"]
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "recomputed_leaf"]
+
+# numpy interns builtin dtype objects, so identity checks are valid — and
+# measurably cheaper than ``in``-membership on the Tensor construction path.
+_F64 = np.dtype(np.float64)
+_F32 = np.dtype(np.float32)
+_FLOAT_DTYPES = (_F32, _F64)
 
 
 class _GradMode:
     """Process-wide switch used by ``no_grad`` to disable graph building."""
 
     enabled = True
+
+
+class _Capture:
+    """Process-wide handle to the tape currently capturing ops (or ``None``).
+
+    Set by :class:`repro.nn.graph.Tape`; kept here so the op implementations
+    below can record themselves without importing the graph module.
+    """
+
+    tape = None
 
 
 class no_grad:
@@ -83,24 +112,58 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _topological_order(root: "Tensor") -> List["Tensor"]:
+    """Topological order over the graph reachable from ``root``.
+
+    Factored out of :meth:`Tensor.backward` so the graph-replay executor can
+    record the *same* traversal once and reuse it every step — gradient
+    accumulation order (and therefore floating-point rounding) then matches
+    the eager engine bit for bit.
+    """
+    topo: List[Tensor] = []
+    visited: set = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return topo
+
+
 class Tensor:
     """A numpy-backed array node in a dynamically built autograd graph.
 
     Parameters
     ----------
     data:
-        Array-like payload.  Always stored as ``float64`` unless an integer
-        dtype is explicitly provided (integer tensors never require grad).
+        Array-like payload.  ``float32``/``float64`` numpy arrays keep their
+        dtype; everything else (lists, scalars, integer arrays) is converted
+        to the process-wide compute dtype from :mod:`repro.nn.dtypes`
+        (``float64`` unless a policy overrides it).
     requires_grad:
         Whether gradients should be accumulated into this tensor during
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_forward",
+                 "_parents", "name")
 
     # Ensure expressions like ``ndarray @ tensor`` dispatch to the Tensor's
     # reflected operators instead of numpy's elementwise broadcasting.
     __array_priority__ = 1000
+
+    # Process-wide count of Tensor objects ever constructed.  The bench
+    # harness diffs this across a training step to make graph-construction
+    # overhead visible as a deterministic counter (wall-clock-noise-free).
+    _created = 0
 
     def __init__(
         self,
@@ -110,13 +173,26 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        array = np.asarray(data, dtype=np.float64)
+        if type(data) is np.ndarray:
+            # Existing float arrays keep their dtype (a float32 network keeps
+            # computing in float32 even outside the policy context); integer
+            # and other arrays are converted to the policy dtype.
+            array = data
+            dtype = array.dtype
+            if dtype is not _F64 and dtype is not _F32 and dtype not in _FLOAT_DTYPES:
+                array = array.astype(get_default_dtype())
+        else:
+            # Lists, python/numpy scalars: adopt the policy dtype directly, so
+            # scalar constants do not upcast float32 graphs to float64.
+            array = np.asarray(data, dtype=get_default_dtype())
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._forward: Optional[Callable[[], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
+        Tensor._created += 1
 
     # ------------------------------------------------------------------ #
     # Introspection helpers
@@ -179,16 +255,26 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+        tape = _Capture.tape
+        if tape is not None:
+            tape.nodes.append(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         """Accumulate an incoming gradient into this tensor."""
         if not self.requires_grad:
             return
-        if type(grad) is not np.ndarray or grad.dtype != np.float64:
-            grad = np.asarray(grad, dtype=np.float64)
+        existing = self.grad
+        if (existing is not None and type(grad) is np.ndarray
+                and grad.shape == existing.shape and grad.dtype == existing.dtype):
+            # Fast path (the common case on the training hot loop): matching
+            # buffer, nothing to unbroadcast or cast — add in place.
+            existing += grad
+            return
+        if type(grad) is not np.ndarray or grad.dtype != self.data.dtype:
+            grad = np.asarray(grad, dtype=self.data.dtype)
         grad = _unbroadcast(grad, self.data.shape)
-        if self.grad is None:
+        if existing is None:
             # Copy: the incoming buffer may be shared with sibling operands.
             self.grad = grad.copy()
         else:
@@ -206,27 +292,55 @@ class Tensor:
             self._accumulate(grad)
             other_t._accumulate(grad)
 
-        return self._make_child(data, (self, other_t), backward)
+        out = self._make_child(data, (self, other_t), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.add(self.data, other_t.data, out=out.data)
+            out._forward = forward
+        return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
         data = -self.data
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            # Scratch buffers are allocated lazily on first use and reused on
+            # every later call.  An eager closure runs once, so behaviour is
+            # unchanged; a *captured* closure persists across graph replays
+            # and becomes allocation-free from the second step on.  All
+            # buffered expressions evaluate the identical ufunc sequence, so
+            # values stay bit-equal to the unbuffered forms.
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            self._accumulate(np.negative(grad, out=scratch[0]))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.negative(self.data, out=out.data)
+            out._forward = forward
+        return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
         data = self.data - other_t.data
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
-            other_t._accumulate(-grad)
+            if other_t.requires_grad:
+                if not scratch:
+                    scratch.append(np.empty_like(grad))
+                other_t._accumulate(np.negative(grad, out=scratch[0]))
 
-        return self._make_child(data, (self, other_t), backward)
+        out = self._make_child(data, (self, other_t), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.subtract(self.data, other_t.data, out=out.data)
+            out._forward = forward
+        return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -234,24 +348,49 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
         data = self.data * other_t.data
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other_t.data)
-            other_t._accumulate(grad * self.data)
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            buf = scratch[0]
+            # Sequential reuse is safe: _accumulate never retains the buffer.
+            self._accumulate(np.multiply(grad, other_t.data, out=buf))
+            if other_t.requires_grad:
+                other_t._accumulate(np.multiply(grad, self.data, out=buf))
 
-        return self._make_child(data, (self, other_t), backward)
+        out = self._make_child(data, (self, other_t), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.multiply(self.data, other_t.data, out=out.data)
+            out._forward = forward
+        return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
         data = self.data / other_t.data
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other_t.data)
-            other_t._accumulate(-grad * self.data / (other_t.data ** 2))
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            buf = scratch[0]
+            self._accumulate(np.divide(grad, other_t.data, out=buf))
+            if other_t.requires_grad:
+                # d(a/b)/db = -a/b² = -out/b: reusing the forward output saves
+                # the ``other**2`` power and one temporary per step.
+                np.multiply(grad, data, out=buf)
+                np.negative(buf, out=buf)
+                other_t._accumulate(np.divide(buf, other_t.data, out=buf))
 
-        return self._make_child(data, (self, other_t), backward)
+        out = self._make_child(data, (self, other_t), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.divide(self.data, other_t.data, out=out.data)
+            out._forward = forward
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) / self
@@ -260,19 +399,32 @@ class Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
         data = self.data ** exponent
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+                scratch.append(np.empty_like(self.data))
+            buf, pow_buf = scratch
+            np.multiply(grad, exponent, out=buf)
+            np.power(self.data, exponent - 1, out=pow_buf)
+            self._accumulate(np.multiply(buf, pow_buf, out=buf))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.power(self.data, exponent, out=out.data)
+            out._forward = forward
+        return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
         data = self.data @ other_t.data
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other_t.data
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad)
             if a.ndim == 1 and b.ndim == 1:
                 # dot product: out is scalar
                 self._accumulate(grad * b)
@@ -291,12 +443,27 @@ class Tensor:
                 other_t._accumulate(_unbroadcast(grad_b.reshape(-1, b.shape[0]).sum(axis=0)
                                                  if grad_b.ndim > 1 else grad_b, b.shape))
             else:
-                grad_a = grad @ np.swapaxes(b, -1, -2)
-                grad_b = np.swapaxes(a, -1, -2) @ grad
+                if not scratch:
+                    scratch.append(grad @ np.swapaxes(b, -1, -2))
+                    scratch.append(np.swapaxes(a, -1, -2) @ grad)
+                    grad_a, grad_b = scratch
+                else:
+                    grad_a, grad_b = scratch
+                    np.matmul(grad, np.swapaxes(b, -1, -2), out=grad_a)
+                    np.matmul(np.swapaxes(a, -1, -2), grad, out=grad_b)
                 self._accumulate(_unbroadcast(grad_a, a.shape))
                 other_t._accumulate(_unbroadcast(grad_b, b.shape))
 
-        return self._make_child(data, (self, other_t), backward)
+        out = self._make_child(data, (self, other_t), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                a, b = self.data, other_t.data
+                if a.ndim >= 2 and b.ndim >= 2:
+                    np.matmul(a, b, out=out.data)
+                else:
+                    out.data[...] = a @ b
+            out._forward = forward
+        return out
 
     def __rmatmul__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other) @ self
@@ -309,14 +476,19 @@ class Tensor:
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            grad_full = np.asarray(grad, dtype=np.float64)
+            grad_full = np.asarray(grad)
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 for ax in sorted(a % self.data.ndim for a in axes):
                     grad_full = np.expand_dims(grad_full, ax)
             self._accumulate(np.broadcast_to(grad_full, self.data.shape))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(np.asarray(data), (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.sum(self.data, axis=axis, keepdims=keepdims, out=out.data)
+            out._forward = forward
+        return out
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
              keepdims: bool = False) -> "Tensor":
@@ -331,84 +503,179 @@ class Tensor:
         data = self.data.max(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            grad_full = np.asarray(grad, dtype=np.float64)
+            grad_full = np.asarray(grad)
             expanded = self.data.max(axis=axis, keepdims=True) if axis is not None else self.data.max()
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum(), 1.0)
             if axis is not None and not keepdims:
                 grad_full = np.expand_dims(grad_full, axis)
             self._accumulate(mask * grad_full)
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(np.asarray(data), (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.amax(self.data, axis=axis, keepdims=keepdims, out=out.data)
+            out._forward = forward
+        return out
 
     # ------------------------------------------------------------------ #
     # Elementwise nonlinearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            self._accumulate(np.multiply(grad, data, out=scratch[0]))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.exp(self.data, out=data)
+            out._forward = forward
+        return out
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            self._accumulate(np.divide(grad, self.data, out=scratch[0]))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.log(self.data, out=data)
+            out._forward = forward
+        return out
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data ** 2))
+            if not scratch:
+                scratch.append(np.empty_like(data))
+            buf = scratch[0]
+            # grad * (1 - data**2), evaluated with the same ufunc sequence.
+            np.power(data, 2, out=buf)
+            np.subtract(1.0, buf, out=buf)
+            self._accumulate(np.multiply(grad, buf, out=buf))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.tanh(self.data, out=data)
+            out._forward = forward
+        return out
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            if not scratch:
+                scratch.append(np.empty_like(data))
+                scratch.append(np.empty_like(data))
+            buf, one_minus = scratch
+            np.multiply(grad, data, out=buf)
+            np.subtract(1.0, data, out=one_minus)
+            self._accumulate(np.multiply(buf, one_minus, out=buf))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                # Same expression as the eager path, evaluated in place.
+                np.negative(self.data, out=data)
+                np.exp(data, out=data)
+                np.add(data, 1.0, out=data)
+                np.divide(1.0, data, out=data)
+            out._forward = forward
+        return out
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
+        mask = (self.data > 0).astype(self.data.dtype)
         data = self.data * mask
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            self._accumulate(np.multiply(grad, mask, out=scratch[0]))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                mask[...] = self.data > 0
+                np.multiply(self.data, mask, out=data)
+            out._forward = forward
+        return out
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
         data = np.abs(self.data)
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sign)
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            self._accumulate(np.multiply(grad, sign, out=scratch[0]))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.sign(self.data, out=sign)
+                np.absolute(self.data, out=data)
+            out._forward = forward
+        return out
 
     def clip(self, low: float, high: float) -> "Tensor":
         data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
+        scratch: list = []
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            if not scratch:
+                scratch.append(np.empty_like(grad))
+            self._accumulate(np.multiply(grad, mask, out=scratch[0]))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.clip(self.data, low, high, out=data)
+                mask[...] = (self.data >= low) & (self.data <= high)
+            out._forward = forward
+        return out
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
     # ------------------------------------------------------------------ #
+    def _attach_view_forward(self, out: "Tensor",
+                             recompute: Callable[[], np.ndarray]) -> "Tensor":
+        """Wire the replay-forward hook for a shape op.
+
+        When the result is a *view* of this tensor's buffer no recompute is
+        needed on replay — in-place updates to the parent are visible through
+        the view.  When numpy had to copy (non-contiguous reshape, fancy
+        index, scalar extraction) the closure re-materialises the copy.
+        """
+        if _Capture.tape is None:
+            return out
+        if np.shares_memory(out.data, self.data):
+            return out
+
+        def forward() -> None:
+            out.data[...] = recompute()
+        out._forward = forward
+        return out
+
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
@@ -417,7 +684,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.asarray(grad).reshape(self.data.shape))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        return self._attach_view_forward(out, lambda: self.data.reshape(shape))
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_t = tuple(axes) if axes else tuple(reversed(range(self.data.ndim)))
@@ -427,7 +695,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.asarray(grad).transpose(inverse))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        return self._attach_view_forward(out, lambda: self.data.transpose(axes_t))
 
     @property
     def T(self) -> "Tensor":
@@ -439,7 +708,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.asarray(grad).reshape(self.data.shape))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        return self._attach_view_forward(
+            out, lambda: self.data.squeeze(axis=axis) if axis is not None
+            else self.data.squeeze())
 
     def unsqueeze(self, axis: int) -> "Tensor":
         data = np.expand_dims(self.data, axis)
@@ -447,24 +719,55 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.asarray(grad).reshape(self.data.shape))
 
-        return self._make_child(data, (self,), backward)
+        out = self._make_child(data, (self,), backward)
+        return self._attach_view_forward(out, lambda: np.expand_dims(self.data, axis))
+
+    def contiguous(self) -> "Tensor":
+        """Return a C-contiguous tensor with the same values (identity grad).
+
+        A no-op for already-contiguous data.  Used after layout-changing ops
+        (e.g. the transpose in the AdaMEL latent projection) so downstream
+        elementwise kernels and flattening reshapes run on contiguous memory
+        instead of strided views.
+        """
+        if self.data.flags.c_contiguous:
+            return self
+        data = np.ascontiguousarray(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        out = self._make_child(data, (self,), backward)
+        if _Capture.tape is not None:
+            def forward() -> None:
+                np.copyto(data, self.data)
+            out._forward = forward
+        return out
 
     def __getitem__(self, index: object) -> "Tensor":
         data = self.data[index]
         basic = _is_basic_index(index)
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
+            if not self.requires_grad:
+                return
+            # Scatter straight into the parent's grad buffer: allocating a
+            # full zeros_like(parent) per slice — the old behaviour — made
+            # sliced time loops (e.g. the GRU) quadratic in sequence length.
+            target = self.grad
+            if target is None:
+                target = np.zeros_like(self.data)
+                self.grad = target
             if basic:
                 # Basic indexing never selects an element twice, so a plain
                 # in-place add is correct and much faster than ``np.add.at``
                 # (an unbuffered ufunc loop).
-                full[index] += grad
+                target[index] += grad
             else:
-                np.add.at(full, index, grad)
-            self._accumulate(full)
+                np.add.at(target, index, grad)
 
-        return self._make_child(np.asarray(data, dtype=np.float64), (self,), backward)
+        out = self._make_child(np.asarray(data), (self,), backward)
+        return self._attach_view_forward(out, lambda: self.data[index])
 
     # ------------------------------------------------------------------ #
     # Backpropagation
@@ -484,25 +787,9 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
-        # Topological order over the graph reachable from this node.
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[Tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-
+        topo = _topological_order(self)
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
@@ -531,6 +818,27 @@ def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
     return Tensor(value, requires_grad=requires_grad)
 
 
+def recomputed_leaf(compute: Callable[[], np.ndarray], name: Optional[str] = None) -> Tensor:
+    """A constant leaf whose value is re-evaluated on every graph replay.
+
+    Eagerly this is just ``Tensor(compute())``.  Under capture, the zero-arg
+    ``compute`` callable is recorded on the tape so that data-dependent
+    constants — a softmax's detached max-shift, a fresh dropout mask, the
+    support-loss weights — are refreshed from the *current* buffer contents
+    instead of being frozen at record time.  ``compute`` must return an array
+    of fixed shape and must read its inputs through references that stay
+    valid across replays (e.g. ``x.data`` of a captured tensor).
+    """
+    out = Tensor(compute(), name=name)
+    tape = _Capture.tape
+    if tape is not None:
+        def forward() -> None:
+            out.data[...] = compute()
+        out._forward = forward
+        tape.nodes.append(out)
+    return out
+
+
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensor_list = [as_tensor(t) for t in tensors]
@@ -551,6 +859,17 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     if requires:
         out._parents = tuple(tensor_list)
         out._backward = backward
+    tape = _Capture.tape
+    if tape is not None:
+        def forward() -> None:
+            offset = 0
+            for tensor, size in zip(tensor_list, sizes):
+                slicer = [slice(None)] * out.data.ndim
+                slicer[axis] = slice(offset, offset + size)
+                out.data[tuple(slicer)] = tensor.data
+                offset += size
+        out._forward = forward
+        tape.nodes.append(out)
     return out
 
 
@@ -571,4 +890,13 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     if requires:
         out._parents = tuple(tensor_list)
         out._backward = backward
+    tape = _Capture.tape
+    if tape is not None:
+        def forward() -> None:
+            for i, tensor in enumerate(tensor_list):
+                slicer = [slice(None)] * out.data.ndim
+                slicer[axis] = i
+                out.data[tuple(slicer)] = tensor.data
+        out._forward = forward
+        tape.nodes.append(out)
     return out

@@ -133,3 +133,31 @@ class TestDeepBaselines:
         model = DeepMatcher(config)
         pairs = model._training_pairs(music_scenario.align())
         assert len(pairs) == len(music_scenario.source) + len(music_scenario.support)
+
+
+class TestBaselineReplayEngine:
+    """Graph-replay fast path in the shared baseline training loop."""
+
+    @pytest.mark.parametrize("cls", [DeepMatcher, EntityMatcher, CorDelAttention])
+    def test_replay_is_bit_exact_with_eager(self, cls, music_scenario):
+        import dataclasses
+        eager_cfg = dataclasses.replace(FAST_BASELINE_CONFIG, execution="eager")
+        replay_cfg = dataclasses.replace(FAST_BASELINE_CONFIG, execution="replay")
+        eager = cls(eager_cfg)
+        eager_history = eager.fit(music_scenario)
+        replay = cls(replay_cfg)
+        replay_history = replay.fit(music_scenario)
+        assert eager_history == replay_history
+        for p_eager, p_replay in zip(eager.network.parameters(),
+                                     replay.network.parameters()):
+            assert np.array_equal(p_eager.data, p_replay.data)
+
+    def test_ditto_stays_eager(self, music_scenario):
+        """Ditto's embedding lookups are not capture-safe; it must not opt in."""
+        model = Ditto(FAST_BASELINE_CONFIG)
+        model.fit(music_scenario)
+        assert not getattr(model.network, "replay_safe", False)
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(execution="jit")

@@ -1,0 +1,167 @@
+"""Lockstep and policy tests for the trainer's graph-replay fast path.
+
+The headline guarantee: with the default float64 dtype, training with the
+graph-replay engine is **bit-exact** with the eager engine — identical loss
+histories and identical parameters after every epoch — including the eager
+fallback/extra-graph handling of the final partial mini-batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (AdaMELBase, AdaMELConfig, AdaMELFew, AdaMELHybrid,
+                        AdaMELZero)
+from repro.experiments.scenarios import ExperimentScale, build_scenario
+
+
+@pytest.fixture(scope="module")
+def smoke_scale():
+    return ExperimentScale.smoke()
+
+
+@pytest.fixture(scope="module")
+def music_scenario(smoke_scale):
+    return build_scenario("music3k", "artist", mode="overlapping",
+                          scale=smoke_scale, seed=0).align()
+
+
+def _fit_pair(cls, config, scenario):
+    eager = cls(config.with_updates(execution="eager"))
+    eager_history = eager.fit(scenario)
+    replay = cls(config.with_updates(execution="replay"))
+    replay_history = replay.fit(scenario)
+    return eager, eager_history, replay, replay_history
+
+
+class TestLockstep:
+    def test_hybrid_three_epochs_bit_exact(self, smoke_scale, music_scenario):
+        """Acceptance: 3 epochs of music3k — identical losses and parameters."""
+        config = smoke_scale.adamel_config(epochs=3)
+        eager, eh, replay, rh = _fit_pair(AdaMELHybrid, config, music_scenario)
+        assert eh.total_loss == rh.total_loss
+        assert eh.base_loss == rh.base_loss
+        assert eh.target_loss == rh.target_loss
+        assert eh.support_loss == rh.support_loss
+        for p_eager, p_replay in zip(eager.network.parameters(),
+                                     replay.network.parameters()):
+            assert np.array_equal(p_eager.data, p_replay.data)
+
+    @pytest.mark.parametrize("cls", [AdaMELBase, AdaMELZero, AdaMELFew])
+    def test_all_variants_bit_exact(self, cls, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=2)
+        eager, eh, replay, rh = _fit_pair(cls, config, music_scenario)
+        assert eh.total_loss == rh.total_loss
+        for p_eager, p_replay in zip(eager.network.parameters(),
+                                     replay.network.parameters()):
+            assert np.array_equal(p_eager.data, p_replay.data)
+
+    def test_partial_batches_compile_second_graph(self, smoke_scale, music_scenario):
+        """A batch size that never divides the pool exercises the second graph."""
+        config = smoke_scale.adamel_config(epochs=2, batch_size=13)
+        eager, eh, replay, rh = _fit_pair(AdaMELHybrid, config, music_scenario)
+        assert eh.total_loss == rh.total_loss
+        # One graph per recurring size: the full batch and the remainder.
+        assert len(replay._step_graphs) == 2
+
+    def test_auto_mode_is_replay(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=1)
+        model = AdaMELHybrid(config)  # execution defaults to "auto"
+        model.fit(music_scenario)
+        assert model.replay_stats() is not None
+        stats = model.replay_stats()
+        assert stats["forward_ops"] > 0 and stats["backward_ops"] > 0
+
+    def test_predictions_identical_across_engines(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=2)
+        eager, _, replay, _ = _fit_pair(AdaMELZero, config, music_scenario)
+        pairs = music_scenario.test.pairs[:20]
+        assert np.array_equal(eager.predict_proba(pairs), replay.predict_proba(pairs))
+
+
+class TestSupportSampling:
+    def test_walk_mode_trains_and_differs_from_choice(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=3)
+        choice = AdaMELHybrid(config)  # default: per-step choice (seed-exact)
+        choice_history = choice.fit(music_scenario)
+        walk = AdaMELHybrid(config.with_updates(support_sampling="walk"))
+        walk_history = walk.fit(music_scenario)
+        assert np.isfinite(walk_history.final_loss())
+        # Different draw schedule — histories should not be identical.
+        assert choice_history.total_loss != walk_history.total_loss
+
+    def test_walk_is_bit_exact_across_engines(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=2, support_sampling="walk")
+        _, eh, _, rh = _fit_pair(AdaMELHybrid, config, music_scenario)
+        assert eh.total_loss == rh.total_loss
+
+    def test_default_choice_matches_historical_behaviour(self, smoke_scale,
+                                                        music_scenario):
+        """The seed-exact regression: default sampling is per-step choice."""
+        assert AdaMELConfig().support_sampling == "choice"
+
+    def test_invalid_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            AdaMELConfig(support_sampling="bogus")
+
+
+class TestDtypePolicy:
+    def test_float32_networks_stay_float32(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=2, dtype="float32")
+        model = AdaMELHybrid(config)
+        model.fit(music_scenario)
+        for param in model.network.parameters():
+            assert param.data.dtype == np.float32
+        probs = model.predict_proba(music_scenario.test.pairs[:8])
+        assert probs.dtype == np.float32
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_float32_f1_close_to_float64(self, smoke_scale, music_scenario):
+        """Acceptance: float32 trains music3k to within 0.01 F1 of float64."""
+        config = smoke_scale.adamel_config()
+        full = AdaMELHybrid(config)
+        full.fit(music_scenario)
+        half = AdaMELHybrid(config.with_updates(dtype="float32"))
+        half.fit(music_scenario)
+        f64 = full.evaluate(music_scenario.test.pairs).f1
+        f32 = half.evaluate(music_scenario.test.pairs).f1
+        assert abs(f64 - f32) <= 0.01
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            AdaMELConfig(dtype="float16")
+        with pytest.raises(ValueError):
+            AdaMELConfig(execution="jit")
+
+
+class TestHistoryExtras:
+    def test_cache_hit_rate_recorded(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=1)
+        model = AdaMELZero(config)
+        history = model.fit(music_scenario)
+        assert history.encoder_cache_hit_rate is not None
+        assert 0.0 <= history.encoder_cache_hit_rate <= 1.0
+        payload = history.as_dict()
+        assert payload["encoder_cache_hit_rate"] == history.encoder_cache_hit_rate
+        # Refitting re-encodes the same pairs: the cache should now serve them.
+        rerun = AdaMELZero(config).fit(music_scenario)
+        assert rerun.encoder_cache_hit_rate > 0.9
+
+    def test_step_seconds_only_when_profiling(self, smoke_scale, music_scenario):
+        config = smoke_scale.adamel_config(epochs=1)
+        plain = AdaMELBase(config).fit(music_scenario)
+        assert plain.step_seconds is None
+        assert "step_seconds" not in plain.as_dict()
+        profiled = AdaMELBase(config.with_updates(profile_steps=True)).fit(music_scenario)
+        assert profiled.step_seconds
+        assert all(s >= 0 for s in profiled.step_seconds)
+
+    def test_legacy_kernels_equivalent_predictions(self, smoke_scale, music_scenario):
+        """The benchmark reference composition trains to the same quality."""
+        config = smoke_scale.adamel_config(epochs=3)
+        fused = AdaMELZero(config.with_updates(execution="eager"))
+        fused.fit(music_scenario)
+        legacy = AdaMELZero(config.with_updates(execution="eager", legacy_kernels=True))
+        legacy.fit(music_scenario)
+        pairs = music_scenario.test.pairs[:20]
+        assert np.allclose(fused.predict_proba(pairs), legacy.predict_proba(pairs),
+                           atol=1e-6)
