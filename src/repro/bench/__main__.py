@@ -42,6 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --check, re-run stages that appear regressed up to "
                              "this many times and keep each stage's best wall-clock, "
                              "so one noisy measurement cannot fail the gate (default 2)")
+    parser.add_argument("--export", default=None, metavar="JSONL",
+                        help="enable telemetry for the suite and write a metrics + "
+                             "trace export (view with python -m repro.obs)")
     parser.add_argument("--list", action="store_true", dest="list_stages",
                         help="list available stages and exit")
     return parser
@@ -72,8 +75,19 @@ def main(argv=None) -> int:
             return 2
         baseline = load_json(baseline_path)
 
-    payload = run_suite(scale_name=args.scale, seed=args.seed, stages=stages,
-                        progress=lambda message: print(message, flush=True))
+    progress = lambda message: print(message, flush=True)
+    if args.export is None:
+        payload = run_suite(scale_name=args.scale, seed=args.seed, stages=stages,
+                            progress=progress)
+    else:
+        from .. import obs
+
+        with obs.telemetry():
+            payload = run_suite(scale_name=args.scale, seed=args.seed, stages=stages,
+                                progress=progress)
+            export_path = obs.write_export(args.export)
+        print(f"wrote telemetry export to {export_path} "
+              f"(view: python -m repro.obs --from-export {export_path})")
 
     print()
     print(f"scale={payload['scale']} seed={payload['seed']} "

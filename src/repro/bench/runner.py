@@ -387,6 +387,74 @@ def _stage_train_epoch(scale: ExperimentScale, seed: int) -> Dict[str, object]:
     return extras
 
 
+def _stage_obs_overhead(scale: ExperimentScale, seed: int) -> Dict[str, float]:
+    """Telemetry overhead: serve and train throughput, enabled vs disabled.
+
+    Runs the same two workloads — an online serve replay (upserts + concurrent
+    queries through the coalescer) and a short AdaMEL-hyb fit — with telemetry
+    off and with a live registry + collector installed via ``obs.telemetry()``.
+    Rounds interleave the two states so machine drift cancels, and each state
+    keeps its best throughput.  ``*_overhead_ratio`` is best-disabled over
+    best-enabled rate (1.0 = free); ``find_regressions`` fails the gate when a
+    ratio exceeds the 5% budget, which keeps "zero-cost when disabled, cheap
+    when enabled" an enforced property rather than a design note.
+    """
+    from .. import obs
+    from ..core.variants import create_variant
+    from ..infer.predictor import BatchedPredictor
+    from ..serve import (LinkageService, ServiceConfig, StoreConfig,
+                         replay_queries, replay_upserts)
+
+    corpus = build_corpus("music3k", "artist", scale=scale, seed=seed)
+    scenario = build_scenario("music3k", "artist", mode="overlapping",
+                              scale=scale, seed=seed)
+    train_config = scale.adamel_config(epochs=min(scale.adamel_epochs, 6))
+    model = create_variant("adamel-hyb", train_config)
+    model.fit(scenario)
+    predictor = BatchedPredictor.from_trainer(model)
+
+    # The ratio measures relative overhead, not capacity: a few hundred
+    # records give stable rates without turning this stage into a soak test.
+    records = list(corpus.records)
+    np.random.default_rng(seed).shuffle(records)
+    records = records[:200]
+
+    def serve_rate() -> float:
+        service_config = ServiceConfig(max_batch_size=32, max_wait_ms=2.0)
+        with LinkageService(predictor, store_config=StoreConfig(),
+                            service_config=service_config) as service:
+            start = time.perf_counter()
+            replay_upserts(service, records)
+            replay_queries(service, records, num_workers=4)
+            elapsed = time.perf_counter() - start
+        return 2 * len(records) / max(elapsed, 1e-9)
+
+    def train_rate() -> float:
+        trainer = create_variant("adamel-hyb", train_config)
+        start = time.perf_counter()
+        history = trainer.fit(scenario)
+        elapsed = time.perf_counter() - start
+        return len(history.total_loss) / max(elapsed, 1e-9)
+
+    best = {"serve_off": 0.0, "serve_on": 0.0, "train_off": 0.0, "train_on": 0.0}
+    for _ in range(3):
+        best["serve_off"] = max(best["serve_off"], serve_rate())
+        with obs.telemetry():
+            best["serve_on"] = max(best["serve_on"], serve_rate())
+        best["train_off"] = max(best["train_off"], train_rate())
+        with obs.telemetry():
+            best["train_on"] = max(best["train_on"], train_rate())
+    return {
+        "num_records": float(len(records)),
+        "serve_ops_per_second": best["serve_on"],
+        "serve_baseline_ops_per_second": best["serve_off"],
+        "train_epochs_per_second": best["train_on"],
+        "train_baseline_epochs_per_second": best["train_off"],
+        "serve_overhead_ratio": best["serve_off"] / max(best["serve_on"], 1e-9),
+        "train_overhead_ratio": best["train_off"] / max(best["train_on"], 1e-9),
+    }
+
+
 def _stage_pipeline_end_to_end(scale: ExperimentScale, seed: int) -> Dict[str, float]:
     """Full linkage engine on Music-3K: train, then ingest→block→score→cluster."""
     from ..core.variants import create_variant
@@ -435,6 +503,8 @@ STAGES: Tuple[BenchStage, ...] = (
                _stage_pipeline_end_to_end),
     BenchStage("serve_online", "online linkage service latency (Music-3K)",
                _stage_serve_online),
+    BenchStage("obs_overhead", "telemetry overhead: serve + train, on vs off",
+               _stage_obs_overhead),
 )
 
 _STAGES_BY_NAME = {stage.name: stage for stage in STAGES}
@@ -458,7 +528,7 @@ def summarize_latency_samples(extras: Dict[str, object]) -> Dict[str, float]:
     All other entries pass through unchanged, so stages without samples (and
     the ``--check`` gate, which only reads ``seconds``) are unaffected.
     """
-    from ..serve.loadgen import latency_percentiles
+    from ..obs.stats import percentiles as _percentiles
 
     summarized: Dict[str, float] = {}
     for key, value in extras.items():
@@ -467,7 +537,7 @@ def summarize_latency_samples(extras: Dict[str, object]) -> Dict[str, float]:
             continue
         prefix = key[:-len("_samples")]
         samples = list(value)  # type: ignore[arg-type]
-        for name, seconds in latency_percentiles(samples).items():
+        for name, seconds in _percentiles(samples).items():
             summarized[f"{prefix}_{name}_ms"] = float(seconds) * 1000.0
         summarized[f"{prefix}_count"] = float(len(samples))
     return summarized
@@ -552,6 +622,13 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
     of the compiled training tape, tensor allocations per step): they are
     machine-independent, so they get only 10% headroom plus one count — a
     tape regression stays visible even when timing noise would hide it.
+
+    Extras ending in ``_overhead_ratio`` (the ``obs_overhead`` stage) are
+    gated against an *absolute* ceiling — telemetry enabled must stay within
+    5% of disabled (plus 1% measurement slack) regardless of what the
+    baseline machine recorded; both runs of a ratio share one machine, so no
+    machine-ratio relaxation applies.  The stage name is returned so the
+    ``--check`` retry loop re-times an over-budget ratio before failing.
     """
     problems: List[Tuple[Optional[str], str]] = []
     if current.get("scale") != baseline.get("scale"):
@@ -582,6 +659,19 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
                 + (f", machine ratio {ratio:.2f}" if ratio != 1.0 else "") + ")"
             ))
         for key, base_value in base_entry.items():
+            if key.endswith("_overhead_ratio"):
+                cur_value = cur_entry.get(key)
+                if cur_value is None:
+                    problems.append((None,
+                        f"stage {name!r} ratio {key!r} present in baseline but "
+                        f"missing from this run"))
+                elif float(cur_value) > 1.05 + 0.01:
+                    problems.append((name,
+                        f"stage {name!r} telemetry overhead {key!r} is "
+                        f"{float(cur_value):.3f}x; enabled must stay within 5% "
+                        f"of disabled (limit 1.06x incl. slack)"
+                    ))
+                continue
             if not (key.endswith("_ops") or key.endswith("_tensors_per_step")):
                 continue
             cur_value = cur_entry.get(key)

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..data.domain import MELScenario
 from ..data.records import EntityPair
 from ..data.sampling import BatchSampler
@@ -172,6 +173,10 @@ class AdaMELTrainer:
         # the recomputed-leaf weight closure always reads the current values.
         self._centroid_state: List[object] = [None, None, None, None]
         self._step_seconds: List[float] = []
+        # Telemetry handles, rebound once per fit (None while disabled so the
+        # inner loop's check is a plain identity test, not a registry lookup).
+        self._obs_step_hist = None
+        self._obs_steps_total = None
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -192,8 +197,14 @@ class AdaMELTrainer:
         self.encoder = PairEncoder(self.schema, embedder=embedder, tokenizer=tokenizer,
                                    feature_kinds=config.feature_kinds)
         cache = self.encoder.cache
-        cache_lookups_before = (cache.hits + cache.misses) if cache is not None else 0
-        cache_hits_before = cache.hits if cache is not None else 0
+        # One locked read: unlocked hits/misses attribute reads can straddle a
+        # concurrent lookup and tear the pair (serve threads share the cache).
+        if cache is not None:
+            hits_now, misses_now = cache.lookup_counts()
+        else:
+            hits_now = misses_now = 0
+        cache_lookups_before = hits_now + misses_now
+        cache_hits_before = hits_now
 
         # The labeled pool for L_base is the source domain plus, when the
         # variant uses it, the labeled support set (goal G2: leverage the few
@@ -208,6 +219,19 @@ class AdaMELTrainer:
         target_batch = self.encoder.encode(scenario.target.pairs) if self.uses_target else None
 
         self._reset_compiled_state()
+        # Bind the per-step telemetry handles once per fit: while disabled the
+        # inner loop pays one `is None` check per step, nothing more.
+        registry = obs.active_registry()
+        epoch_hist = epochs_total = None
+        if registry is not None:
+            self._obs_step_hist = registry.histogram(
+                "training_step_seconds", "Wall-clock per optimiser step")
+            self._obs_steps_total = registry.counter(
+                "training_steps_total", "Optimiser steps run")
+            epoch_hist = registry.histogram("training_epoch_seconds",
+                                            "Wall-clock per training epoch")
+            epochs_total = registry.counter("training_epochs_total",
+                                            "Training epochs completed")
         history = TrainingHistory()
         with using_dtype(config.dtype):
             rng = spawn_rng(config.seed)
@@ -220,8 +244,13 @@ class AdaMELTrainer:
                              flatten=True)
 
             for epoch in range(config.epochs):
-                epoch_losses = self._train_epoch(epoch, source_batch, target_batch,
-                                                 support_batch, optimizer)
+                epoch_started = time.perf_counter()
+                with obs.trace("train.epoch", epoch=epoch, variant=self.variant):
+                    epoch_losses = self._train_epoch(epoch, source_batch, target_batch,
+                                                     support_batch, optimizer)
+                if epoch_hist is not None:
+                    epoch_hist.observe(time.perf_counter() - epoch_started)
+                    epochs_total.inc()
                 history.total_loss.append(epoch_losses["total"])
                 history.base_loss.append(epoch_losses["base"])
                 history.target_loss.append(epoch_losses["target"])
@@ -237,6 +266,23 @@ class AdaMELTrainer:
                                                                   cache_hits_before)
         if config.profile_steps:
             history.step_seconds = list(self._step_seconds)
+        if registry is not None:
+            if history.encoder_cache_hit_rate is not None:
+                registry.gauge("training_encoder_cache_hit_ratio",
+                               "Encoder-cache hit rate over the last fit").set(
+                    history.encoder_cache_hit_rate)
+            replay = self.replay_stats()
+            if replay is not None:
+                registry.gauge("training_tape_forward_ops",
+                               "Forward ops in the compiled step graph").set(
+                    replay["forward_ops"])
+                registry.gauge("training_tape_backward_ops",
+                               "Backward ops in the compiled step graph").set(
+                    replay["backward_ops"])
+                registry.gauge("training_tape_nodes_count",
+                               "Nodes in the compiled step graph").set(replay["nodes"])
+        self._obs_step_hist = None
+        self._obs_steps_total = None
         self.history = history
         return history
 
@@ -245,10 +291,11 @@ class AdaMELTrainer:
         cache = self.encoder.cache if self.encoder is not None else None
         if cache is None:
             return None
-        lookups = (cache.hits + cache.misses) - lookups_before
+        hits, misses = cache.lookup_counts()
+        lookups = (hits + misses) - lookups_before
         if lookups <= 0:
             return 0.0
-        return (cache.hits - hits_before) / lookups
+        return (hits - hits_before) / lookups
 
     # ------------------------------------------------------------------ #
     # Per-epoch recomputations (Algorithm 1 line 5, Algorithm 2 line 10)
@@ -386,6 +433,9 @@ class AdaMELTrainer:
         assert network is not None
         dtype = network.V.data.dtype
         profile = config.profile_steps
+        step_hist = self._obs_step_hist
+        steps_total = self._obs_steps_total
+        timing = profile or step_hist is not None
 
         # Algorithm 1 line 5 / Algorithm 2 line 10, with current parameters.
         target_mean = self._epoch_target_mean(target_batch, use_graph=False)
@@ -397,7 +447,7 @@ class AdaMELTrainer:
         sums = {"total": 0.0, "base": 0.0, "target": 0.0, "support": 0.0}
         num_batches = 0
         for indices in sampler:
-            started = time.perf_counter() if profile else 0.0
+            started = time.perf_counter() if timing else 0.0
             batch = source_batch.subset(indices)
             feat_t = Tensor(np.asarray(batch.features, dtype=dtype))
             lab_t = Tensor(np.asarray(batch.labels, dtype=dtype))
@@ -410,8 +460,15 @@ class AdaMELTrainer:
             self._apply_eager_step(losses, optimizer)
             self._accumulate_sums(sums, losses)
             num_batches += 1
-            if profile:
-                self._step_seconds.append(time.perf_counter() - started)
+            if timing:
+                # One reading feeds both sinks, so the history list and the
+                # histogram sum stay bit-identical.
+                elapsed = time.perf_counter() - started
+                if profile:
+                    self._step_seconds.append(elapsed)
+                if step_hist is not None:
+                    step_hist.observe(elapsed)
+                    steps_total.inc()
         if num_batches == 0:
             raise RuntimeError("no training batches were produced; source domain is empty")
         return {key: value / num_batches for key, value in sums.items()}
@@ -464,6 +521,9 @@ class AdaMELTrainer:
         assert network is not None
         dtype = network.V.data.dtype
         profile = config.profile_steps
+        step_hist = self._obs_step_hist
+        steps_total = self._obs_steps_total
+        timing = profile or step_hist is not None
 
         target_mean = self._epoch_target_mean(target_batch, use_graph=True)
         have_support = self._epoch_centroids(source_batch, support_batch, use_graph=True)
@@ -480,7 +540,7 @@ class AdaMELTrainer:
         sums = {"total": 0.0, "base": 0.0, "target": 0.0, "support": 0.0}
         num_batches = 0
         for indices in sampler:
-            started = time.perf_counter() if profile else 0.0
+            started = time.perf_counter() if timing else 0.0
             size = len(indices)
             support_indices = draw_support() if draw_support is not None else None
 
@@ -538,8 +598,13 @@ class AdaMELTrainer:
 
             self._accumulate_sums(sums, losses)
             num_batches += 1
-            if profile:
-                self._step_seconds.append(time.perf_counter() - started)
+            if timing:
+                elapsed = time.perf_counter() - started
+                if profile:
+                    self._step_seconds.append(elapsed)
+                if step_hist is not None:
+                    step_hist.observe(elapsed)
+                    steps_total.inc()
         if num_batches == 0:
             raise RuntimeError("no training batches were produced; source domain is empty")
         return {key: value / num_batches for key, value in sums.items()}

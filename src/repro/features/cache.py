@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, NamedTuple, Optional, Tuple
 
 import numpy as np
+
+from ..obs import BoundHandles
 
 __all__ = ["EncodingCache", "get_default_cache", "set_default_cache"]
 
@@ -27,6 +29,25 @@ DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
 CacheKey = Tuple[Hashable, ...]
 CacheEntry = Tuple[np.ndarray, np.ndarray]  # (features (F, D), mask (F,))
+
+
+class _CacheInstruments(NamedTuple):
+    hits: object
+    misses: object
+    evictions: object
+    size_bytes: object
+    entries: object
+
+
+def _bind_cache_instruments(registry) -> _CacheInstruments:
+    return _CacheInstruments(
+        hits=registry.counter("cache_hits_total", "Encoding cache lookups served"),
+        misses=registry.counter("cache_misses_total", "Encoding cache lookups missed"),
+        evictions=registry.counter("cache_evictions_total",
+                                   "Entries evicted to stay within the byte budget"),
+        size_bytes=registry.gauge("cache_size_bytes", "Bytes held by cached arrays"),
+        entries=registry.gauge("cache_entries_count", "Entries in the encoding cache"),
+    )
 
 
 class EncodingCache:
@@ -55,6 +76,9 @@ class EncodingCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Per-pair hot path: registry lookups are cached, one identity check
+        # per event while telemetry stays in one state.
+        self._obs = BoundHandles(_bind_cache_instruments)
 
     def __len__(self) -> int:
         with self._lock:
@@ -70,10 +94,13 @@ class EncodingCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        instruments = self._obs.get()
+        if instruments is not None:
+            (instruments.misses if entry is None else instruments.hits).inc()
+        return entry
 
     def store(self, key: CacheKey, features: np.ndarray, mask: np.ndarray) -> None:
         """Insert a pair's encoded arrays (copied, so later mutation of the
@@ -84,6 +111,7 @@ class EncodingCache:
         features.setflags(write=False)
         mask.setflags(write=False)
         nbytes = features.nbytes + mask.nbytes
+        evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -95,8 +123,16 @@ class EncodingCache:
                 _, (old_features, old_mask) = self._entries.popitem(last=False)
                 self.current_bytes -= old_features.nbytes + old_mask.nbytes
                 self.evictions += 1
+                evicted += 1
             self._entries[key] = (features, mask)
             self.current_bytes += nbytes
+            current_bytes, num_entries = self.current_bytes, len(self._entries)
+        instruments = self._obs.get()
+        if instruments is not None:
+            if evicted:
+                instruments.evictions.inc(evicted)
+            instruments.size_bytes.set(current_bytes)
+            instruments.entries.set(num_entries)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
@@ -107,11 +143,22 @@ class EncodingCache:
             self.misses = 0
             self.evictions = 0
 
+    def lookup_counts(self) -> Tuple[int, int]:
+        """``(hits, misses)`` read atomically under the cache lock.
+
+        Readers that want a consistent view (the trainer's hit-rate math,
+        delta-based accounting across a fit) must use this instead of reading
+        the ``hits`` / ``misses`` attributes separately — two unlocked reads
+        can straddle a concurrent lookup and tear the pair.
+        """
+        with self._lock:
+            return self.hits, self.misses
+
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 before any lookup)."""
-        with self._lock:
-            total = self.hits + self.misses
-            return self.hits / total if total else 0.0
+        hits, misses = self.lookup_counts()
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> Dict[str, int]:
         """Counters for diagnostics and benchmark reports."""

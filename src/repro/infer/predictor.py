@@ -18,7 +18,8 @@ from __future__ import annotations
 import threading
 from itertools import islice
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, Iterable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -27,11 +28,30 @@ from ..data.records import EntityPair
 from ..features.cache import EncodingCache
 from ..features.encoder import PairEncoder
 from ..nn import no_grad
+from ..obs import BoundHandles, DEFAULT_SIZE_BUCKETS
 from .serialization import load_model
 
 __all__ = ["BatchedPredictor", "PredictorQueueFull"]
 
 DEFAULT_MICRO_BATCH_SIZE = 256
+
+
+class _PredictorInstruments(NamedTuple):
+    requests: object
+    batches: object
+    batch_pairs: object
+
+
+def _bind_predictor_instruments(registry) -> _PredictorInstruments:
+    return _PredictorInstruments(
+        requests=registry.counter("infer_requests_total",
+                                  "Pairs scored through the predictor"),
+        batches=registry.counter("infer_batches_total",
+                                 "Fused forward passes run"),
+        batch_pairs=registry.histogram("infer_batch_pairs",
+                                       "Pairs per fused forward pass",
+                                       buckets=DEFAULT_SIZE_BUCKETS),
+    )
 
 
 class PredictorQueueFull(RuntimeError):
@@ -106,6 +126,7 @@ class BatchedPredictor:
         self._queue_lock = threading.RLock()
         self.requests_served = 0
         self.batches_run = 0
+        self._obs = BoundHandles(_bind_predictor_instruments)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -140,6 +161,7 @@ class BatchedPredictor:
         if not pairs:
             return np.zeros(0)
         outputs: List[np.ndarray] = []
+        instruments = self._obs.get()
         was_training = self.network.training
         self.network.eval()
         try:
@@ -150,9 +172,14 @@ class BatchedPredictor:
                     forward = self.network.forward(batch.features)
                     outputs.append(np.atleast_1d(forward.probabilities.data.copy()))
                     self.batches_run += 1
+                    if instruments is not None:
+                        instruments.batches.inc()
+                        instruments.batch_pairs.observe(len(chunk))
         finally:
             self.network.train(was_training)
         self.requests_served += len(pairs)
+        if instruments is not None:
+            instruments.requests.inc(len(pairs))
         return np.concatenate(outputs)
 
     def predict(self, pairs: Sequence[EntityPair], threshold: float = 0.5) -> np.ndarray:

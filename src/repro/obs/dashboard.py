@@ -1,0 +1,120 @@
+"""Plain-text telemetry dashboard: metrics tables + trace trees.
+
+Renders either live state (the active registry/collector) or a loaded
+export into the fixed-width text the ``python -m repro.obs`` CLI prints.
+Pure string building — no terminal control here beyond what the CLI adds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry, active_registry
+from .stats import histogram_percentiles
+from .tracing import TraceCollector, active_collector
+
+__all__ = ["render_dashboard", "render_metrics", "render_trace_tree"]
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".6g")
+
+
+def _label_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{key}={value}"
+                          for key, value in sorted(labels.items())) + "}"
+
+
+def render_metrics(metrics: Sequence[Mapping[str, object]]) -> str:
+    """Metric series as aligned text, grouped counters/gauges/histograms."""
+    counters: List[str] = []
+    gauges: List[str] = []
+    histograms: List[str] = []
+    for entry in metrics:
+        name = f"{entry['name']}{_label_text(entry.get('labels') or {})}"
+        kind = entry.get("kind")
+        if kind == "counter":
+            counters.append(f"  {name:<52} {_format_value(entry['value']):>12}")
+        elif kind == "gauge":
+            gauges.append(f"  {name:<52} {_format_value(entry['value']):>12}"
+                          f"  (max {_format_value(entry.get('max', entry['value']))})")
+        elif kind == "histogram":
+            count = int(entry["count"])
+            buckets = entry.get("buckets") or []
+            bounds = [bound for bound, _ in buckets if not isinstance(bound, str)]
+            counts = [bucket_count for _, bucket_count in buckets]
+            pcts = histogram_percentiles(bounds, counts)
+            mean = (float(entry["sum"]) / count) if count else 0.0
+            histograms.append(
+                f"  {name:<52} n={count:<8} mean={mean:<11.6g} "
+                f"p50={pcts['p50']:<11.6g} p95={pcts['p95']:<11.6g} "
+                f"p99={pcts['p99']:.6g}")
+    sections: List[str] = []
+    if counters:
+        sections.append("counters:\n" + "\n".join(counters))
+    if gauges:
+        sections.append("gauges:\n" + "\n".join(gauges))
+    if histograms:
+        sections.append("histograms (percentiles estimated from buckets):\n"
+                        + "\n".join(histograms))
+    if not sections:
+        sections.append("(no metrics recorded)")
+    return "\n".join(sections)
+
+
+def render_trace_tree(root: Mapping[str, object], max_depth: int = 6) -> str:
+    """One root span tree as an indented text outline."""
+    lines: List[str] = []
+
+    def walk(node: Mapping[str, object], depth: int) -> None:
+        indent = "  " * depth
+        attrs = node.get("attributes") or {}
+        attr_text = ("  " + " ".join(f"{key}={value}"
+                                     for key, value in sorted(attrs.items()))
+                     if attrs else "")
+        lines.append(f"{indent}{node['name']:<{max(36 - 2 * depth, 8)}} "
+                     f"wall={float(node['seconds']):.4f}s "
+                     f"cpu={float(node['cpu_seconds']):.4f}s{attr_text}")
+        if depth + 1 < max_depth:
+            for child in node.get("children") or []:
+                walk(child, depth + 1)
+        elif node.get("children"):
+            lines.append(f"{'  ' * (depth + 1)}... "
+                         f"({len(node['children'])} deeper spans elided)")
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_dashboard(metrics: Optional[Sequence[Mapping[str, object]]] = None,
+                     traces: Optional[Sequence[Mapping[str, object]]] = None,
+                     title: str = "repro.obs telemetry",
+                     max_traces: int = 5) -> str:
+    """The full dashboard: header, metrics section, most recent traces.
+
+    With no arguments, renders the live active registry/collector (empty
+    sections when telemetry is disabled).
+    """
+    if metrics is None:
+        registry: Optional[MetricsRegistry] = active_registry()
+        metrics = registry.snapshot() if registry is not None else []
+    if traces is None:
+        collector: Optional[TraceCollector] = active_collector()
+        traces = [root.to_dict() for root in collector.roots()] if collector else []
+
+    width = 78
+    parts: List[str] = ["=" * width, title.center(width), "=" * width,
+                        render_metrics(metrics)]
+    if traces:
+        shown = list(traces)[-max_traces:]
+        parts.append("-" * width)
+        parts.append(f"traces ({len(traces)} recorded, newest "
+                     f"{len(shown)} shown):")
+        for root in shown:
+            parts.append(render_trace_tree(root))
+    parts.append("=" * width)
+    return "\n".join(parts)

@@ -1,0 +1,102 @@
+"""JSONL export / import of a telemetry session.
+
+One export file carries the whole story of a run: a ``meta`` line, one line
+per metric series, and one line per trace tree.  The format is line-oriented
+JSON so exports stream, diff, and grep well:
+
+``{"type": "meta", "created_at": ..., "argv": [...]}``
+    First line; identifies the producing process.
+``{"type": "metric", "kind": "counter"|"gauge", "name", "labels", "value", ...}``
+    One line per counter/gauge series (gauges also carry ``max``).
+``{"type": "metric", "kind": "histogram", "name", "labels", "count", "sum",
+"min", "max", "buckets": [[le, count], ...]}``
+    One line per histogram series; the final bucket bound is the string
+    ``"+Inf"``.
+``{"type": "trace", "root": {span tree}}``
+    One line per finished root span (see :meth:`repro.obs.Span.to_dict`).
+
+:func:`write_export` snapshots the active (or given) registry + collector;
+:func:`load_export` reads a file back into plain dicts for the dashboard and
+the ``python -m repro.obs`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry, active_registry
+from .tracing import TraceCollector, active_collector
+
+__all__ = ["write_export", "load_export", "ExportError"]
+
+
+class ExportError(ValueError):
+    """Raised when an export file is malformed or empty."""
+
+
+def write_export(path: Union[str, Path],
+                 registry: Optional[MetricsRegistry] = None,
+                 collector: Optional[TraceCollector] = None) -> Path:
+    """Write the current telemetry state to ``path`` as JSONL.
+
+    Defaults to the active registry/collector; either may be absent (an
+    export with metrics but no traces is fine, and vice versa).  Writing
+    with telemetry fully disabled still produces a valid file with just the
+    ``meta`` line.
+    """
+    registry = registry if registry is not None else active_registry()
+    collector = collector if collector is not None else active_collector()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        meta = {"type": "meta", "created_at": time.time(),
+                "argv": list(sys.argv)}
+        handle.write(json.dumps(meta) + "\n")
+        if registry is not None:
+            for entry in registry.snapshot():
+                line: Dict[str, object] = {"type": "metric"}
+                line.update(entry)
+                handle.write(json.dumps(line) + "\n")
+        if collector is not None:
+            for root in collector.roots():
+                handle.write(json.dumps({"type": "trace",
+                                         "root": root.to_dict()}) + "\n")
+    return path
+
+
+def load_export(path: Union[str, Path]) -> Dict[str, object]:
+    """Read an export file back as ``{"meta", "metrics", "traces"}``.
+
+    ``metrics`` is a list of series dicts (the registry snapshot format),
+    ``traces`` a list of root span trees.  Unknown line types are ignored so
+    the format can grow; malformed JSON raises :class:`ExportError` with the
+    offending line number.
+    """
+    path = Path(path)
+    meta: Dict[str, object] = {}
+    metrics: List[Dict[str, object]] = []
+    traces: List[Dict[str, object]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ExportError(f"{path}:{line_number}: not valid JSON "
+                                  f"({exc.msg})") from exc
+            kind = line.get("type")
+            if kind == "meta":
+                meta = line
+            elif kind == "metric":
+                metrics.append(line)
+            elif kind == "trace":
+                traces.append(line["root"])
+    if not meta and not metrics and not traces:
+        raise ExportError(f"{path}: empty export (no meta/metric/trace lines)")
+    return {"meta": meta, "metrics": metrics, "traces": traces}

@@ -70,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output-dir", default=DEFAULT_OUTPUT_DIR,
                         help=f"where to write clusters/matches/stats "
                              f"(default: {DEFAULT_OUTPUT_DIR})")
+    parser.add_argument("--export", default=None, metavar="JSONL",
+                        help="enable telemetry for the run and write a metrics + "
+                             "trace export (view with python -m repro.obs)")
     return parser
 
 
@@ -95,6 +98,19 @@ def main(argv: Optional[list] = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.export is None:
+        return _run(args)
+    from .. import obs
+
+    with obs.telemetry():
+        status = _run(args)
+        path = obs.write_export(args.export)
+    print(f"wrote telemetry export to {path} "
+          f"(view: python -m repro.obs --from-export {path})")
+    return status
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.model is not None:
         predictor = BatchedPredictor.load(args.model)
     else:

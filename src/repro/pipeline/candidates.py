@@ -147,6 +147,15 @@ class CandidateGenerationStage:
                 flattened[f"{label}_{key}"] = float(value)
         return flattened
 
+    def skew_report(self, top_k: int = 5) -> Dict[str, Dict[str, object]]:
+        """Per-index bucket-skew summaries (Gini, hottest buckets).
+
+        Indexes without a ``skew_stats`` hook (custom blockers) are skipped.
+        """
+        return {label: index.skew_stats(top_k=top_k)
+                for label, index in zip(self._index_labels(), self.indexes)
+                if hasattr(index, "skew_stats")}
+
     def _stats(self, pairs: List[EntityPair], retrieved: Set[Tuple[str, str]],
                per_index_hits: Dict[str, int]) -> Dict[str, float]:
         records = self._records

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..data.records import Record
 from ..infer.predictor import BatchedPredictor
 from ..utils.serialization import save_json
@@ -167,40 +168,85 @@ class LinkagePipeline:
             seed=config.seed,
         )
 
-        # Ingest + block: pull bounded chunks off the stream, index each one.
-        iterator = iter(records)
-        while True:
-            start = time.perf_counter()
-            chunk: List[Record] = []
-            for record in iterator:
-                chunk.append(record)
-                if len(chunk) >= config.ingest_chunk_size:
+        with obs.trace("pipeline.run") as run_span:
+            # Ingest + block: pull bounded chunks off the stream, index each.
+            iterator = iter(records)
+            chunk_index = 0
+            while True:
+                start = time.perf_counter()
+                with obs.trace("ingest", chunk=chunk_index):
+                    chunk: List[Record] = []
+                    for record in iterator:
+                        chunk.append(record)
+                        if len(chunk) >= config.ingest_chunk_size:
+                            break
+                seconds["ingest"] += time.perf_counter() - start
+                if not chunk:
                     break
-            seconds["ingest"] += time.perf_counter() - start
-            if not chunk:
-                break
+                start = time.perf_counter()
+                with obs.trace("block", chunk=chunk_index, records=len(chunk)):
+                    stage.add_records(chunk)
+                seconds["block"] += time.perf_counter() - start
+                chunk_index += 1
+
             start = time.perf_counter()
-            stage.add_records(chunk)
-            seconds["block"] += time.perf_counter() - start
+            with obs.trace("pair"):
+                candidates = stage.generate()
+            seconds["pair"] = time.perf_counter() - start
 
-        start = time.perf_counter()
-        candidates = stage.generate()
-        seconds["pair"] = time.perf_counter() - start
+            scoring = ScoringStage(self.predictor, chunk_size=config.scoring_chunk_size)
+            start = time.perf_counter()
+            with obs.trace("score", pairs=len(candidates.pairs)):
+                scored = scoring.run(candidates.pairs)
+            seconds["score"] = time.perf_counter() - start
+            if len(scored):
+                scored.stats["pairs_per_second"] = len(scored) / max(seconds["score"], 1e-9)
 
-        scoring = ScoringStage(self.predictor, chunk_size=config.scoring_chunk_size)
-        start = time.perf_counter()
-        scored = scoring.run(candidates.pairs)
-        seconds["score"] = time.perf_counter() - start
-        if len(scored):
-            scored.stats["pairs_per_second"] = len(scored) / max(seconds["score"], 1e-9)
+            clustering = ClusteringStage(threshold=config.score_threshold,
+                                         source_consistent=config.source_consistent)
+            start = time.perf_counter()
+            with obs.trace("cluster"):
+                clusters = clustering.run(stage.records, scored)
+            seconds["cluster"] = time.perf_counter() - start
 
-        clustering = ClusteringStage(threshold=config.score_threshold,
-                                     source_consistent=config.source_consistent)
-        start = time.perf_counter()
-        clusters = clustering.run(stage.records, scored)
-        seconds["cluster"] = time.perf_counter() - start
+            run_span.set("records", len(stage.records))
+            run_span.set("candidates", len(candidates.pairs))
 
-        return PipelineResult(records=stage.records, candidates=candidates,
-                              scored=scored, clusters=clusters,
-                              stage_seconds=seconds, config=config,
-                              index_stats=stage.index_stats())
+        result = PipelineResult(records=stage.records, candidates=candidates,
+                                scored=scored, clusters=clusters,
+                                stage_seconds=seconds, config=config,
+                                index_stats=stage.index_stats())
+        if obs.enabled():
+            self._record_run_metrics(result, stage)
+        return result
+
+    def _record_run_metrics(self, result: PipelineResult,
+                            stage: CandidateGenerationStage) -> None:
+        """Publish one run's counters/gauges (only called while enabled)."""
+        obs.counter("pipeline_runs_total", "Pipeline runs completed").inc()
+        obs.counter("pipeline_records_total", "Records ingested by runs").inc(
+            len(result.records))
+        obs.counter("pipeline_candidates_total",
+                    "Candidate pairs generated by runs").inc(len(result.candidates.pairs))
+        matches = int(np.count_nonzero(
+            np.asarray(result.scored.scores) >= result.config.score_threshold))
+        obs.counter("pipeline_matches_total",
+                    "Scored pairs at or above the match threshold").inc(matches)
+        for name, value in result.stage_seconds.items():
+            obs.histogram("pipeline_stage_seconds", "Wall-clock per stage",
+                          {"stage": name}).observe(value)
+        pair_stats = result.candidates.stats
+        if "recall" in pair_stats:
+            obs.gauge("pipeline_blocking_recall_ratio",
+                      "Blocking recall vs ground truth").set(pair_stats["recall"])
+        obs.gauge("pipeline_pair_reduction_ratio",
+                  "Candidates kept / possible pairs").set(
+            pair_stats.get("reduction_ratio", 0.0))
+        for label, skew in stage.skew_report().items():
+            obs.gauge("index_bucket_gini_ratio",
+                      "Gini of bucket sizes (0 = even, 1 = skewed)",
+                      {"index": label}).set(skew["gini"])
+            for rank, (_, size) in enumerate(skew["hottest"], start=1):
+                obs.gauge("index_hot_bucket_records",
+                          "Size of the rank-th hottest bucket",
+                          {"index": label, "rank": str(rank)}).set(size)

@@ -202,6 +202,19 @@ class _BucketedIndex:
         return sum(1 for bucket in self._buckets.values()
                    if len(bucket) > self.max_bucket_size)
 
+    def bucket_sizes(self) -> Dict[Hashable, int]:
+        """Member count of every bucket (overflowed ones included)."""
+        return {key: len(bucket) for key, bucket in self._buckets.items()}
+
+    def skew_stats(self, top_k: int = 5) -> Dict[str, object]:
+        """Bucket-size skew summary: Gini coefficient, extremes, and the
+        ``top_k`` hottest buckets (the observability hook skew-aware
+        sharding will select partitions on).  Walks every bucket — a
+        diagnostics call, not a per-ingest one."""
+        from ..obs.stats import bucket_skew
+
+        return bucket_skew(self.bucket_sizes(), top_k=top_k)
+
 
 class InvertedTokenIndex(_BucketedIndex):
     """Incremental inverted index from token to the records containing it.

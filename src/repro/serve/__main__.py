@@ -67,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a store snapshot to DIR after ingest")
     serving.add_argument("--skip-parity", action="store_true",
                          help="skip the batch-pipeline parity check (faster)")
+    parser.add_argument("--export", default=None, metavar="JSONL",
+                        help="enable telemetry for the demo and write a metrics + "
+                             "trace export (view with python -m repro.obs)")
     return parser
 
 
@@ -158,7 +161,16 @@ def main(argv: Optional[list] = None) -> int:
         build_parser().print_help()
         print("\nhint: run the demo with  python -m repro.serve --demo")
         return 2
-    return run_demo(args)
+    if args.export is None:
+        return run_demo(args)
+    from .. import obs
+
+    with obs.telemetry():
+        status = run_demo(args)
+        path = obs.write_export(args.export)
+    print(f"\nwrote telemetry export to {path} "
+          f"(view: python -m repro.obs --from-export {path})")
+    return status
 
 
 if __name__ == "__main__":

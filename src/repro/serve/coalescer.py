@@ -23,15 +23,52 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
+from typing import (Callable, Deque, Dict, List, NamedTuple, Optional,
+                    Sequence, Union)
 
 import numpy as np
 
 from ..data.records import EntityPair
+from ..obs import BoundHandles, DEFAULT_SIZE_BUCKETS
 
 __all__ = ["RequestCoalescer", "PendingScore", "CoalescerClosed", "CoalescerQueueFull"]
 
 ScoreFn = Callable[[Sequence[EntityPair]], np.ndarray]
+
+
+class _CoalescerInstruments(NamedTuple):
+    requests: object
+    rejected: object
+    pairs_scored: object
+    flushes: Dict[str, object]
+    queue_depth: object
+    high_watermark: object
+    wait_seconds: object
+    batch_pairs: object
+
+
+def _bind_coalescer_instruments(registry) -> _CoalescerInstruments:
+    flush_help = "Batches flushed, by trigger (size / deadline / shutdown)"
+    return _CoalescerInstruments(
+        requests=registry.counter("coalescer_requests_total",
+                                  "Scoring requests accepted"),
+        rejected=registry.counter("coalescer_rejected_total",
+                                  "Requests rejected by queue backpressure"),
+        pairs_scored=registry.counter("coalescer_pairs_scored_total",
+                                      "Pairs scored through fused batches"),
+        flushes={reason: registry.counter("coalescer_flushes_total", flush_help,
+                                          {"reason": reason})
+                 for reason in ("size", "deadline", "shutdown")},
+        queue_depth=registry.gauge("coalescer_queue_depth_pairs",
+                                   "Pairs currently queued"),
+        high_watermark=registry.gauge("coalescer_queue_high_watermark_pairs",
+                                      "Deepest the queue has been"),
+        wait_seconds=registry.histogram("coalescer_wait_seconds",
+                                        "Queue wait from enqueue to batch drain"),
+        batch_pairs=registry.histogram("coalescer_batch_pairs",
+                                       "Fused pairs per executed batch",
+                                       buckets=DEFAULT_SIZE_BUCKETS),
+    )
 
 
 class CoalescerClosed(RuntimeError):
@@ -130,6 +167,7 @@ class RequestCoalescer:
         self.deadline_flushes = 0
         self.rejected = 0
         self._batch_sizes_sum = 0
+        self._obs = BoundHandles(_bind_coalescer_instruments)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -208,6 +246,9 @@ class RequestCoalescer:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     self.rejected += 1
+                    instruments = self._obs.get()
+                    if instruments is not None:
+                        instruments.rejected.inc()
                     raise CoalescerQueueFull(
                         f"no room for {len(pairs)} pair(s) within {timeout}s "
                         f"(queued={self._queued_pairs}, bound={self.max_queue_size})")
@@ -221,9 +262,15 @@ class RequestCoalescer:
                                    deadline=now + wait)
             self._queue.append(_QueuedRequest(pairs, pending))
             self._queued_pairs += len(pairs)
+            queued_pairs = self._queued_pairs
             self.requests += 1
             self._condition.notify_all()
-            return pending
+        instruments = self._obs.get()
+        if instruments is not None:
+            instruments.requests.inc()
+            instruments.queue_depth.set(queued_pairs)
+            instruments.high_watermark.set_max(queued_pairs)
+        return pending
 
     def score(self, pairs: Union[EntityPair, Sequence[EntityPair]],
               timeout: Optional[float] = None,
@@ -307,6 +354,7 @@ class RequestCoalescer:
                 batch.append(request)
                 taken += len(request.pairs)
             self._queued_pairs -= taken
+            queued_pairs = self._queued_pairs
             if cause == "size":
                 self.size_flushes += 1
             elif cause == "deadline":
@@ -314,7 +362,16 @@ class RequestCoalescer:
             self.batches += 1
             self._batch_sizes_sum += taken
             self._condition.notify_all()  # wake submitters blocked on room
-            return batch, cause
+        instruments = self._obs.get()
+        if instruments is not None:
+            drained_at = time.monotonic()
+            instruments.flushes[cause].inc()
+            instruments.batch_pairs.observe(taken)
+            instruments.queue_depth.set(queued_pairs)
+            for request in batch:
+                instruments.wait_seconds.observe(
+                    drained_at - request.pending.enqueued_at)
+        return batch, cause
 
     def _execute(self, batch: List[_QueuedRequest], cause: str) -> None:
         fused: List[EntityPair] = []
@@ -331,6 +388,9 @@ class RequestCoalescer:
             return
         with self._condition:
             self.pairs_scored += len(fused)
+        instruments = self._obs.get()
+        if instruments is not None:
+            instruments.pairs_scored.inc(len(fused))
         offset = 0
         for request in batch:
             request.pending._resolve(scores[offset:offset + len(request.pairs)].copy())

@@ -17,23 +17,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.records import Record
+from ..obs.stats import PERCENTILE_POINTS, percentiles
 from .service import LinkageService
 
 __all__ = ["LoadReport", "latency_percentiles", "replay_upserts", "replay_queries"]
-
-PERCENTILE_POINTS = (50, 95, 99)
 
 
 def latency_percentiles(samples: Sequence[float],
                         points: Sequence[int] = PERCENTILE_POINTS) -> Dict[str, float]:
     """``{"p50": ..., "p95": ..., "p99": ...}`` of a latency sample list.
 
-    Empty input yields zeros, so reports stay JSON-clean at smoke scales.
+    Thin alias of :func:`repro.obs.stats.percentiles` (the one home of the
+    percentile math), kept for the serve-layer import path.
     """
-    if not len(samples):
-        return {f"p{point}": 0.0 for point in points}
-    values = np.percentile(np.asarray(samples, dtype=np.float64), list(points))
-    return {f"p{point}": float(value) for point, value in zip(points, values)}
+    return percentiles(samples, points)
 
 
 @dataclass

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from .. import obs
 from ..data.records import Record
 from ..infer.predictor import BatchedPredictor
 from .coalescer import RequestCoalescer
@@ -140,15 +141,19 @@ class LinkageService:
     def upsert(self, record: Record) -> UpsertResult:
         """Link one record online; returns its entity id and latency."""
         start = time.perf_counter()
-        entity_id = self.store.upsert(record)
+        with obs.trace("serve.upsert", record_id=record.record_id) as span:
+            entity_id = self.store.upsert(record)
+            span.set("entity_id", entity_id)
         return UpsertResult(record_id=record.record_id, entity_id=entity_id,
                             seconds=time.perf_counter() - start)
 
     def query(self, record: Record, top_k: Optional[int] = None) -> QueryResult:
         """Rank stored entities for a probe record; returns matches + latency."""
         start = time.perf_counter()
-        matches = self.store.query(
-            record, top_k=self.config.top_k if top_k is None else top_k)
+        with obs.trace("serve.query", record_id=record.record_id) as span:
+            matches = self.store.query(
+                record, top_k=self.config.top_k if top_k is None else top_k)
+            span.set("matches", len(matches))
         return QueryResult(matches=matches, seconds=time.perf_counter() - start)
 
     def snapshot(self, path: Union[str, Path]) -> Path:

@@ -35,15 +35,17 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass
 from itertools import combinations
 from pathlib import Path
-from typing import (Callable, Dict, List, Mapping, Optional, Sequence, Set,
-                    Tuple, Union)
+from typing import (Callable, Dict, List, Mapping, NamedTuple, Optional,
+                    Sequence, Set, Tuple, Union)
 
 import numpy as np
 
 from ..data.records import EntityPair, Record
+from ..obs import BoundHandles
 from ..pipeline.clustering import (MatchEdge, UnionFind, apply_match_edges,
                                    order_match_edges)
 from ..pipeline.engine import PipelineConfig
@@ -140,6 +142,36 @@ class _StoreCounters:
     queries: int = 0
 
 
+class _StoreInstruments(NamedTuple):
+    upserts: object
+    queries: object
+    pairs_scored: object
+    pairs_retracted: object
+    edges_retracted: object
+    resolutions: object
+    upsert_seconds: object
+    query_seconds: object
+
+
+def _bind_store_instruments(registry) -> _StoreInstruments:
+    return _StoreInstruments(
+        upserts=registry.counter("store_upserts_total", "Records upserted"),
+        queries=registry.counter("store_queries_total", "Probe queries served"),
+        pairs_scored=registry.counter("store_pairs_scored_total",
+                                      "Candidate pairs scored by upserts"),
+        pairs_retracted=registry.counter("store_pairs_retracted_total",
+                                         "Candidate pairs retracted by bucket overflow"),
+        edges_retracted=registry.counter("store_edges_retracted_total",
+                                         "Match edges withdrawn by retraction"),
+        resolutions=registry.counter("store_resolutions_total",
+                                     "Component re-resolutions run"),
+        upsert_seconds=registry.histogram("store_upsert_seconds",
+                                          "End-to-end upsert latency"),
+        query_seconds=registry.histogram("store_query_seconds",
+                                         "End-to-end query latency"),
+    )
+
+
 class EntityStore:
     """Persistent, incrementally maintained entity clusters.
 
@@ -197,6 +229,7 @@ class EntityStore:
         self._entity_of: Dict[int, str] = {}
         self._members: Dict[str, List[int]] = {}
         self.counters = _StoreCounters()
+        self._obs = BoundHandles(_bind_store_instruments)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -297,7 +330,12 @@ class EntityStore:
         if self._score_fn is None:
             raise RuntimeError("this store has no score_fn (restored read-only?); "
                                "call bind_score_fn() before upserting")
+        started = time.perf_counter()
         with self._lock:
+            counters_before = (self.counters.pairs_scored,
+                               self.counters.pairs_retracted,
+                               self.counters.edges_retracted,
+                               self.counters.resolutions)
             existing = self._position.get(record.record_id)
             if existing is not None:
                 stored = self._records[existing]
@@ -372,7 +410,21 @@ class EntityStore:
                     self._match_adj.setdefault(key[1], set()).add(key[0])
                     dirty.update(key)
             self._resolve_affected(dirty)
-            return self._entity_of[position]
+            entity_id = self._entity_of[position]
+            deltas = tuple(after - before for after, before in zip(
+                (self.counters.pairs_scored, self.counters.pairs_retracted,
+                 self.counters.edges_retracted, self.counters.resolutions),
+                counters_before))
+        instruments = self._obs.get()
+        if instruments is not None:
+            instruments.upsert_seconds.observe(time.perf_counter() - started)
+            instruments.upserts.inc()
+            for instrument, delta in zip(
+                    (instruments.pairs_scored, instruments.pairs_retracted,
+                     instruments.edges_retracted, instruments.resolutions), deltas):
+                if delta:
+                    instrument.inc(delta)
+        return entity_id
 
     def _score_pairs(self, pairs: Sequence[EntityPair],
                      score_fn: ScoreFn) -> np.ndarray:
@@ -487,6 +539,7 @@ class EntityStore:
                                "call bind_score_fn() before querying")
         if top_k <= 0:
             raise ValueError(f"top_k must be positive, got {top_k}")
+        started = time.perf_counter()
         # Bucket keys are a pure function of the probe record and the index
         # config (the CPU-heavy part of a probe, e.g. MinHash sketching), so
         # they are computed outside the lock: concurrent probes don't
@@ -510,6 +563,7 @@ class EntityStore:
                 pairs.append(EntityPair(left=left_record, right=right_record, label=None))
             self.counters.queries += 1
         if not pairs:
+            self._record_query(started)
             return []
 
         scores = np.asarray(self._score_fn(pairs), dtype=np.float64)
@@ -527,7 +581,21 @@ class EntityStore:
                         record_id=self._records[position].record_id,
                         size=len(self._members[entity_id]))
         ranked = sorted(best.values(), key=lambda match: (-match.score, match.entity_id))
+        self._record_query(started)
         return ranked[:top_k]
+
+    def _record_query(self, started: float) -> None:
+        instruments = self._obs.get()
+        if instruments is not None:
+            instruments.queries.inc()
+            instruments.query_seconds.observe(time.perf_counter() - started)
+
+    def skew_stats(self, top_k: int = 5) -> Dict[str, Dict[str, object]]:
+        """Bucket-skew summary of every blocking index (on demand — this
+        walks all buckets, so it is a diagnostics call, not a hot path)."""
+        with self._lock:
+            return {type(index).__name__: index.skew_stats(top_k=top_k)
+                    for index in self._indexes}
 
     def _is_probe_candidate(self, record: Record, position: int) -> bool:
         if not self.config.cross_source_only:

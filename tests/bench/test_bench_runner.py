@@ -50,6 +50,9 @@ class TestStageRegistry:
     def test_serve_online_stage_registered(self):
         assert "serve_online" in {name for name, _ in list_stages()}
 
+    def test_obs_overhead_stage_registered(self):
+        assert "obs_overhead" in {name for name, _ in list_stages()}
+
 
 class TestLatencyPercentiles:
     def test_samples_fold_into_millisecond_percentiles(self):
@@ -165,6 +168,46 @@ class TestPerfGate:
         baseline["stages"]["encoder"] = {"seconds": 2.0, "reference_seconds": 2.0}
         current["stages"]["encoder"] = {"seconds": 1.0, "reference_seconds": 1.0}
         assert check_regressions(current, baseline, tolerance=0.25) == []
+
+    @staticmethod
+    def overhead_payload(serve_ratio, train_ratio, seconds=2.0):
+        return {"scale": "smoke",
+                "stages": {"obs_overhead": {"seconds": seconds,
+                                            "serve_overhead_ratio": serve_ratio,
+                                            "train_overhead_ratio": train_ratio}}}
+
+    def test_overhead_ratio_within_ceiling_passes(self):
+        baseline = self.overhead_payload(1.02, 1.01)
+        current = self.overhead_payload(1.05, 0.99)
+        assert check_regressions(current, baseline) == []
+
+    def test_overhead_ratio_over_ceiling_fails_and_is_retryable(self):
+        """The 5% telemetry budget is absolute: it fails even when the
+        baseline recorded a similar ratio, and carries the stage name so the
+        ``--check`` retry loop re-times it before failing the gate."""
+        baseline = self.overhead_payload(1.08, 1.0)  # a bad baseline is no excuse
+        current = self.overhead_payload(1.08, 1.0)
+        problems = find_regressions(current, baseline)
+        assert [name for name, _ in problems] == ["obs_overhead"]
+        assert "serve_overhead_ratio" in problems[0][1]
+        assert "5%" in problems[0][1]
+
+    def test_overhead_ratio_missing_from_run_is_reported(self):
+        baseline = self.overhead_payload(1.0, 1.0)
+        current = {"scale": "smoke", "stages": {"obs_overhead": {"seconds": 2.0}}}
+        problems = find_regressions(current, baseline)
+        assert len(problems) == 2  # both ratios gone
+        assert all(name is None for name, _ in problems)
+
+    def test_overhead_ratio_ignores_machine_ratio_relaxation(self):
+        """Both sides of an overhead ratio come from one machine, so the
+        encoder-based machine ratio must not relax the 5% ceiling."""
+        baseline = self.overhead_payload(1.0, 1.0)
+        current = self.overhead_payload(1.2, 1.0)
+        baseline["stages"]["encoder"] = {"seconds": 1.0, "reference_seconds": 1.0}
+        current["stages"]["encoder"] = {"seconds": 4.0, "reference_seconds": 4.0}
+        problems = find_regressions(current, baseline)
+        assert [name for name, _ in problems] == ["obs_overhead"]
 
 
 class TestCli:

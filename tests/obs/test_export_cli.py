@@ -1,0 +1,133 @@
+"""JSONL export round-trip, the dashboard renderer, and the obs CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main as obs_main
+from repro.obs.dashboard import render_dashboard, render_metrics, render_trace_tree
+from repro.obs.export import ExportError, load_export, write_export
+
+
+def _record_session(path):
+    """One tiny enabled session with metrics and a trace, exported to path."""
+    with obs.telemetry() as session:
+        obs.counter("cache_hits_total", "Cache hits").inc(7)
+        obs.gauge("coalescer_queue_depth_pairs", "Queue depth").set(12)
+        obs.histogram("store_upsert_seconds", "Upsert latency").observe(0.004)
+        with obs.trace("pipeline.run", records=2):
+            with obs.trace("score"):
+                pass
+        return write_export(path, registry=session.registry,
+                            collector=session.collector)
+
+
+class TestExportRoundTrip:
+    def test_round_trip_preserves_metrics_and_traces(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        export = load_export(path)
+        assert export["meta"]["type"] == "meta"
+        assert "argv" in export["meta"]
+        by_name = {entry["name"]: entry for entry in export["metrics"]}
+        assert by_name["cache_hits_total"]["value"] == 7.0
+        assert by_name["coalescer_queue_depth_pairs"]["max"] == 12.0
+        hist = by_name["store_upsert_seconds"]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1][0] == "+Inf"
+        (trace,) = export["traces"]
+        assert trace["name"] == "pipeline.run"
+        assert [child["name"] for child in trace["children"]] == ["score"]
+
+    def test_export_file_is_line_oriented_json(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        types = [json.loads(line)["type"] for line in lines]
+        assert types[0] == "meta"
+        assert set(types) == {"meta", "metric", "trace"}
+
+    def test_export_while_disabled_writes_only_meta(self, tmp_path):
+        path = write_export(tmp_path / "empty.jsonl")
+        export = load_export(path)
+        assert export["metrics"] == [] and export["traces"] == []
+
+    def test_unknown_line_types_are_ignored(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        with path.open("a") as handle:
+            handle.write(json.dumps({"type": "future-extension"}) + "\n")
+        load_export(path)  # must not raise
+
+    def test_malformed_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ExportError, match=r"bad\.jsonl:2"):
+            load_export(path)
+
+    def test_fully_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ExportError, match="empty export"):
+            load_export(path)
+
+
+class TestDashboard:
+    def test_renders_counters_gauges_histograms_and_traces(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        export = load_export(path)
+        text = render_dashboard(metrics=export["metrics"],
+                                traces=export["traces"], title="test dash")
+        assert "test dash" in text
+        assert "cache_hits_total" in text
+        assert "coalescer_queue_depth_pairs" in text
+        assert "store_upsert_seconds" in text
+        assert "pipeline.run" in text
+
+    def test_empty_metrics_has_a_fallback_line(self):
+        assert "(no metrics recorded)" in render_metrics([])
+
+    def test_trace_tree_indents_children(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        (trace,) = load_export(path)["traces"]
+        text = render_trace_tree(trace)
+        root_line = next(line for line in text.splitlines() if "pipeline.run" in line)
+        child_line = next(line for line in text.splitlines() if "score" in line)
+        assert (len(child_line) - len(child_line.lstrip())
+                > len(root_line) - len(root_line.lstrip()))
+
+
+class TestCLI:
+    def test_from_export_renders_the_dashboard(self, tmp_path, capsys):
+        path = _record_session(tmp_path / "run.jsonl")
+        assert obs_main(["--from-export", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits_total" in out
+        assert "pipeline.run" in out
+
+    def test_from_export_exposition_rebuilds_prometheus_text(self, tmp_path, capsys):
+        path = _record_session(tmp_path / "run.jsonl")
+        assert obs_main(["--from-export", str(path), "--exposition"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE cache_hits_total counter" in out
+        assert "cache_hits_total 7" in out
+        assert 'store_upsert_seconds_bucket{le="+Inf"} 1' in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert obs_main(["--from-export", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such export" in capsys.readouterr().err
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert obs_main(["--from-export", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_flag_requires_demo(self, tmp_path, capsys):
+        assert obs_main(["--from-export", str(tmp_path / "x.jsonl"),
+                         "--export", str(tmp_path / "y.jsonl")]) == 2
+        assert "--export only applies to --demo" in capsys.readouterr().err
+
+    def test_source_flag_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            obs_main([])

@@ -1,0 +1,208 @@
+"""Metrics registry: instruments, families, exposition, on/off switching."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (DEFAULT_SIZE_BUCKETS, METRIC_SUBSYSTEMS,
+                               METRIC_UNITS, BoundHandles, MetricsRegistry,
+                               NOOP_INSTRUMENT, valid_metric_name)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cache_hits_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_tracks_value_and_high_watermark(self):
+        gauge = MetricsRegistry().gauge("coalescer_queue_depth_pairs")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3.0
+        assert gauge.max_value == 10.0
+        gauge.set_max(7)  # below the watermark, above the value
+        assert gauge.value == 7.0
+        assert gauge.max_value == 10.0
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 10.0
+
+    def test_histogram_buckets_sum_count_min_max(self):
+        hist = MetricsRegistry().histogram("store_upsert_seconds",
+                                           buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 2.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(102.65)
+        assert snap["min"] == 0.05
+        assert snap["max"] == 100.0
+        # Upper bounds are inclusive (bisect_left): 0.1 lands in the first bucket.
+        assert snap["buckets"] == [[0.1, 2], [1.0, 1], [10.0, 1], ["+Inf", 1]]
+
+    def test_histogram_sum_is_bit_identical_to_sequential_sum(self):
+        # The TrainingHistory migration feeds the same floats to a list and a
+        # histogram; both must reduce to the identical float64.
+        values = [0.1 + i * 1e-3 for i in range(100)]
+        hist = MetricsRegistry().histogram("training_step_seconds")
+        total = 0.0
+        for value in values:
+            hist.observe(value)
+            total += value
+        assert hist.sum == total
+
+    def test_histogram_rejects_bad_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("store_upsert_seconds", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("store_query_seconds", buckets=(1.0, 1.0, 2.0))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_per_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("cache_hits_total", "help")
+        b = registry.counter("cache_hits_total")
+        assert a is b
+        labeled = registry.counter("cache_hits_total", labels={"tier": "l1"})
+        assert labeled is not a
+        assert labeled is registry.counter("cache_hits_total", labels={"tier": "l1"})
+
+    def test_kind_and_bucket_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("cache_hits_total")
+        with pytest.raises(ValueError):
+            registry.gauge("cache_hits_total")
+        registry.histogram("store_upsert_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("store_upsert_seconds", buckets=(1.0, 3.0))
+
+    def test_invalid_names_and_labels_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("Bad-Name")
+        with pytest.raises(ValueError):
+            registry.counter("cache_hits_total", labels={"Bad-Label": "x"})
+
+    def test_snapshot_is_sorted_and_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("store_upserts_total").inc()
+        registry.gauge("cache_entries_count").set(3)
+        registry.histogram("store_upsert_seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert [entry["name"] for entry in snap] == sorted(entry["name"]
+                                                           for entry in snap)
+        json.dumps(snap)  # must not raise
+
+    def test_exposition_renders_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("cache_hits_total", "Cache hits").inc(3)
+        registry.counter("cache_hits_total", labels={"tier": "l1"}).inc(2)
+        hist = registry.histogram("store_upsert_seconds", "Upsert latency",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = registry.exposition()
+        lines = text.splitlines()
+        assert "# HELP cache_hits_total Cache hits" in lines
+        assert "# TYPE cache_hits_total counter" in lines
+        assert "cache_hits_total 3" in lines
+        assert 'cache_hits_total{tier="l1"} 2' in lines
+        # Histogram buckets are cumulative and end with +Inf == _count.
+        assert 'store_upsert_seconds_bucket{le="0.1"} 1' in lines
+        assert 'store_upsert_seconds_bucket{le="1"} 2' in lines
+        assert 'store_upsert_seconds_bucket{le="+Inf"} 3' in lines
+        assert "store_upsert_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+
+class TestActiveRegistrySwitch:
+    def test_helpers_return_noop_while_disabled(self):
+        assert not obs.enabled()
+        assert obs.counter("cache_hits_total") is NOOP_INSTRUMENT
+        assert obs.gauge("cache_entries_count") is NOOP_INSTRUMENT
+        assert obs.histogram("store_upsert_seconds") is NOOP_INSTRUMENT
+        # No-ops swallow everything without state.
+        NOOP_INSTRUMENT.inc()
+        NOOP_INSTRUMENT.observe(1.0)
+        assert NOOP_INSTRUMENT.value == 0.0
+
+    def test_telemetry_scope_installs_and_restores(self):
+        with obs.telemetry() as session:
+            assert obs.enabled()
+            obs.counter("cache_hits_total").inc()
+            assert obs.active_registry() is session.registry
+        assert not obs.enabled()
+        # The session stays readable after the scope exits.
+        assert session.registry.snapshot()[0]["value"] == 1.0
+
+    def test_nested_telemetry_restores_the_outer_session(self):
+        with obs.telemetry() as outer:
+            with obs.telemetry() as inner:
+                obs.counter("cache_hits_total").inc()
+                assert obs.active_registry() is inner.registry
+            assert obs.active_registry() is outer.registry
+        assert not obs.enabled()
+
+    def test_bound_handles_follow_the_active_registry(self):
+        calls = []
+
+        def binder(registry):
+            calls.append(registry)
+            return registry.counter("cache_hits_total")
+
+        handles = BoundHandles(binder)
+        assert handles.get() is None  # disabled -> no handles, binder not called
+        assert calls == []
+        with obs.telemetry() as session:
+            first = handles.get()
+            second = handles.get()
+            assert first is second  # steady state: one bind, identity check after
+            assert calls == [session.registry]
+        assert handles.get() is None
+
+    def test_concurrent_recording_is_consistent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cache_hits_total")
+        hist = registry.histogram("infer_batch_pairs", buckets=DEFAULT_SIZE_BUCKETS)
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(8)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000.0
+        assert hist.count == 4000
+
+
+class TestNamingConvention:
+    def test_valid_names(self):
+        assert valid_metric_name("cache_hits_total")
+        assert valid_metric_name("coalescer_queue_depth_pairs")
+        assert valid_metric_name("training_step_seconds")
+        assert valid_metric_name("index_bucket_gini_ratio")
+
+    def test_invalid_names(self):
+        assert not valid_metric_name("hits_total")  # unknown subsystem
+        assert not valid_metric_name("cache_hits")  # missing unit
+        assert not valid_metric_name("cache_total")  # no descriptive middle
+        assert not valid_metric_name("Cache_hits_total")
+        assert all(subsystem.islower() for subsystem in METRIC_SUBSYSTEMS)
+        assert all(unit.islower() for unit in METRIC_UNITS)

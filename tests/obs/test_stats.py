@@ -1,0 +1,85 @@
+"""Shared stats helpers: percentiles, Gini, bucket skew."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.stats import (PERCENTILE_POINTS, bucket_skew, gini,
+                             histogram_percentiles, percentiles, top_k_buckets)
+
+
+class TestPercentiles:
+    def test_matches_numpy_percentile(self):
+        samples = [0.5, 0.1, 0.9, 0.3, 0.7, 0.2]
+        result = percentiles(samples)
+        assert set(result) == {"p50", "p95", "p99"}
+        for point in PERCENTILE_POINTS:
+            assert result[f"p{point}"] == pytest.approx(
+                float(np.percentile(samples, point)))
+
+    def test_empty_input_yields_zeros(self):
+        assert percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_custom_points(self):
+        assert set(percentiles([1.0, 2.0], points=(25, 75))) == {"p25", "p75"}
+
+
+class TestHistogramPercentiles:
+    def test_interpolates_within_buckets(self):
+        # 10 observations uniformly in the (0, 1] bucket: p50 ~ 0.5.
+        result = histogram_percentiles((1.0, 2.0), (10, 0, 0))
+        assert result["p50"] == pytest.approx(0.5)
+        assert result["p99"] == pytest.approx(0.99)
+
+    def test_spans_buckets_cumulatively(self):
+        # 5 in (0,1], 5 in (1,2]: p50 falls exactly at the first boundary.
+        result = histogram_percentiles((1.0, 2.0), (5, 5, 0))
+        assert result["p50"] == pytest.approx(1.0)
+        assert result["p99"] == pytest.approx(1.0 + (9.9 - 5.0) / 5.0)
+
+    def test_inf_bucket_clamps_to_last_bound(self):
+        result = histogram_percentiles((1.0, 2.0), (0, 0, 7))
+        assert result["p50"] == 2.0
+
+    def test_empty_histogram_yields_zeros(self):
+        assert histogram_percentiles((1.0,), (0, 0)) == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestGini:
+    def test_even_distribution_is_zero(self):
+        assert gini([4, 4, 4, 4]) == pytest.approx(0.0)
+
+    def test_concentrated_distribution_is_high(self):
+        assert gini([0, 0, 0, 10]) == pytest.approx(0.75)
+
+    def test_scale_invariant(self):
+        sizes = [1, 2, 3, 10]
+        assert gini(sizes) == pytest.approx(gini([s * 100 for s in sizes]))
+
+    def test_empty_and_all_zero_are_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+
+class TestBucketSkew:
+    def test_top_k_is_deterministic_under_ties(self):
+        sizes = {"b": 5, "a": 5, "c": 9, "d": 1}
+        assert top_k_buckets(sizes, k=3) == [("c", 9), ("a", 5), ("b", 5)]
+        assert top_k_buckets(sizes, k=0) == []
+
+    def test_bucket_skew_summary(self):
+        skew = bucket_skew({"x": 6, "y": 2, "z": 0}, top_k=2)
+        assert skew["num_buckets"] == 3
+        assert skew["num_records"] == 8
+        assert skew["max_bucket_size"] == 6
+        assert skew["mean_bucket_size"] == pytest.approx(8 / 3)
+        assert skew["hottest"] == [("x", 6), ("y", 2)]
+        assert 0.0 <= skew["gini"] < 1.0
+
+    def test_empty_index(self):
+        skew = bucket_skew({})
+        assert skew["num_buckets"] == 0
+        assert skew["max_bucket_size"] == 0
+        assert skew["gini"] == 0.0

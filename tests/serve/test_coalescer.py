@@ -236,3 +236,106 @@ class TestLifecycleAndFailure:
             RequestCoalescer(index_scores, max_wait_ms=-1.0)
         with pytest.raises(ValueError, match="max_queue_size"):
             RequestCoalescer(index_scores, max_batch_size=8, max_queue_size=4)
+
+
+class TestFlushTelemetry:
+    """Flush-reason counters and queue gauges through ``repro.obs``."""
+
+    @staticmethod
+    def _flushes(session):
+        return {entry["labels"]["reason"]: entry["value"]
+                for entry in session.registry.snapshot()
+                if entry["name"] == "coalescer_flushes_total"}
+
+    def test_size_flush_is_counted_by_reason(self):
+        from repro import obs
+
+        with obs.telemetry() as session:
+            with RequestCoalescer(index_scores, max_batch_size=4,
+                                  max_wait_ms=30_000.0) as coalescer:
+                coalescer.score([make_pair(i) for i in range(4)], timeout=5.0)
+        flushes = self._flushes(session)
+        assert flushes["size"] >= 1.0
+        assert flushes.get("deadline", 0.0) == 0.0
+        assert flushes["size"] == coalescer.stats()["size_flushes"]
+
+    def test_deadline_flush_is_counted_by_reason(self):
+        from repro import obs
+
+        with obs.telemetry() as session:
+            with RequestCoalescer(index_scores, max_batch_size=64,
+                                  max_wait_ms=10.0) as coalescer:
+                coalescer.score([make_pair(i) for i in range(3)], timeout=5.0)
+        flushes = self._flushes(session)
+        assert flushes["deadline"] >= 1.0
+        assert flushes.get("size", 0.0) == 0.0
+        assert flushes["deadline"] == coalescer.stats()["deadline_flushes"]
+
+    def test_shutdown_flush_is_counted_by_reason(self):
+        from repro import obs
+
+        with obs.telemetry() as session:
+            coalescer = RequestCoalescer(index_scores, max_batch_size=64,
+                                         max_wait_ms=60_000.0)
+            coalescer.start()
+            handle = coalescer.submit(make_pair(3))
+            coalescer.stop()  # only stop() can flush a 60s-deadline batch
+            handle.result(0.0)
+        assert self._flushes(session)["shutdown"] >= 1.0
+
+    def test_queue_depth_high_watermark_and_wait_times(self):
+        from repro import obs
+
+        gate = threading.Event()
+
+        def gated_scores(pairs):
+            gate.wait(5.0)
+            return index_scores(pairs)
+
+        with obs.telemetry() as session:
+            with RequestCoalescer(gated_scores, max_batch_size=2,
+                                  max_wait_ms=0.0, max_queue_size=64) as coalescer:
+                first = coalescer.submit([make_pair(0), make_pair(1)])
+                time.sleep(0.05)  # executor is now gated inside batch one
+                second = coalescer.submit([make_pair(2), make_pair(3)])
+                third = coalescer.submit(make_pair(4))
+                time.sleep(0.05)  # let the queued requests measurably wait
+                gate.set()
+                for handle in (first, second, third):
+                    handle.result(5.0)
+        series = {entry["name"]: entry for entry in session.registry.snapshot()}
+        # 5 pairs queued while the executor was gated: the watermark must have
+        # seen at least the 3 pairs that piled up behind the in-flight batch,
+        # and the final depth is zero (everything drained).
+        assert series["coalescer_queue_high_watermark_pairs"]["max"] >= 3.0
+        assert series["coalescer_queue_depth_pairs"]["value"] == 0.0
+        assert series["coalescer_requests_total"]["value"] == 3.0
+        assert series["coalescer_pairs_scored_total"]["value"] == 5.0
+        wait = series["coalescer_wait_seconds"]
+        assert wait["count"] == 3
+        assert wait["max"] >= 0.04  # the gated requests measurably waited
+
+    def test_rejected_submissions_are_counted(self):
+        from repro import obs
+
+        gate = threading.Event()
+
+        def blocked_scores(pairs):
+            gate.wait(10.0)
+            return index_scores(pairs)
+
+        with obs.telemetry() as session:
+            coalescer = RequestCoalescer(blocked_scores, max_batch_size=2,
+                                         max_wait_ms=0.0, max_queue_size=2)
+            with coalescer:
+                first = coalescer.submit([make_pair(0), make_pair(1)])
+                time.sleep(0.05)
+                second = coalescer.submit([make_pair(2), make_pair(3)])
+                with pytest.raises(CoalescerQueueFull):
+                    coalescer.submit(make_pair(4), timeout=0.05)
+                gate.set()
+                first.result(5.0)
+                second.result(5.0)
+        series = {entry["name"]: entry for entry in session.registry.snapshot()}
+        assert series["coalescer_rejected_total"]["value"] == 1.0
+        assert series["coalescer_requests_total"]["value"] == 2.0
