@@ -482,6 +482,70 @@ def _stage_pipeline_end_to_end(scale: ExperimentScale, seed: int) -> Dict[str, f
     }
 
 
+def _stage_pipeline_sharded_1m(scale: ExperimentScale, seed: int) -> Dict[str, float]:
+    """Sharded vs single-process linkage on the Music-1M weak-label corpus.
+
+    Trains one model, then links the same corpus three ways: the
+    single-process :class:`~repro.pipeline.LinkagePipeline`, a
+    ``ShardedPipeline`` with one worker (the bit-exact configuration), and a
+    ``ShardedPipeline`` with 4 workers.  Reports wall-clock for each, the
+    4-worker speedup over 1 worker, and two parity flags the ``--check``
+    gate enforces as exact invariants:
+
+    * ``sharded_parity`` — 4-worker clusters identical to the batch run;
+    * ``sharded_bitwise_parity`` — 1-worker scores bit-equal to batch.
+
+    ``cpu_count`` is recorded alongside: the ≥3× speedup floor in
+    :func:`find_regressions` only applies when the machine actually has 4
+    cores to run the workers on (a 1-core box measures honest numbers but
+    cannot pass a parallelism gate; parity is enforced everywhere).
+    """
+    from ..core.variants import create_variant
+    from ..infer.predictor import BatchedPredictor
+    from ..pipeline import LinkagePipeline, ShardConfig, ShardedPipeline
+
+    corpus = build_corpus("music1m", "artist", scale=scale, seed=seed)
+    scenario = build_scenario("music1m", "artist", mode="overlapping",
+                              scale=scale, seed=seed)
+    model = create_variant("adamel-hyb", scale.adamel_config(epochs=min(scale.adamel_epochs, 10)))
+    model.fit(scenario)
+    predictor = BatchedPredictor.from_trainer(model)
+    records = list(corpus.records)
+
+    start = time.perf_counter()
+    batch = LinkagePipeline(predictor).run(list(records))
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    one = ShardedPipeline(predictor,
+                          shards=ShardConfig(workers=1, num_shards=1)).run(list(records))
+    one_worker_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    four = ShardedPipeline(predictor, shards=ShardConfig(workers=4)).run(list(records))
+    four_worker_seconds = time.perf_counter() - start
+
+    report = four.shard_report
+    return {
+        "num_records": float(len(records)),
+        "num_candidates": float(len(batch.scored.pairs)),
+        "cpu_count": float(os.cpu_count() or 1),
+        "batch_seconds": batch_seconds,
+        "sharded_1w_seconds": one_worker_seconds,
+        "sharded_4w_seconds": four_worker_seconds,
+        "speedup_4w": one_worker_seconds / max(four_worker_seconds, 1e-9),
+        "sharded_parity": float(four.clusters.clusters == batch.clusters.clusters),
+        "sharded_bitwise_parity": float(
+            np.array_equal(one.scored.scores, batch.scored.scores)
+            and one.clusters.clusters == batch.clusters.clusters),
+        "used_processes": float(report.used_processes),
+        "hot_buckets_split": float(report.hot_buckets_split),
+        "duplicate_scored_pairs": float(report.duplicate_scored_pairs),
+        "shard_load_gini_hashed": report.gini_hashed,
+        "shard_load_gini_balanced": report.gini_balanced,
+    }
+
+
 STAGES: Tuple[BenchStage, ...] = (
     BenchStage("encoder", "vectorised vs reference pair encoding", _stage_encoder),
     BenchStage("figure6-music3k", "Fig. 6a method comparison (Music-3K)", _stage_figure6_music3k),
@@ -501,6 +565,8 @@ STAGES: Tuple[BenchStage, ...] = (
                _stage_train_epoch),
     BenchStage("pipeline_end_to_end", "end-to-end linkage engine (Music-3K)",
                _stage_pipeline_end_to_end),
+    BenchStage("pipeline_sharded_1m", "sharded linkage engine (Music-1M)",
+               _stage_pipeline_sharded_1m),
     BenchStage("serve_online", "online linkage service latency (Music-3K)",
                _stage_serve_online),
     BenchStage("obs_overhead", "telemetry overhead: serve + train, on vs off",
@@ -629,6 +695,14 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
     baseline machine recorded; both runs of a ratio share one machine, so no
     machine-ratio relaxation applies.  The stage name is returned so the
     ``--check`` retry loop re-times an over-budget ratio before failing.
+
+    Extras ending in ``_parity`` are exact correctness invariants (sharded
+    output equals single-process, streamed equals batch): the current run's
+    value must be exactly 1.0 — these are deterministic, so no re-run and no
+    headroom.  The ``pipeline_sharded_1m`` stage additionally gates its
+    4-worker ``speedup_4w`` against a ≥3× floor, but only when the current
+    machine reports at least 4 CPUs (``cpu_count``); parity always applies,
+    parallel speedup only where parallelism physically exists.
     """
     problems: List[Tuple[Optional[str], str]] = []
     if current.get("scale") != baseline.get("scale"):
@@ -658,7 +732,27 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
                 f"{base_seconds:.2f}s (budget {budget:.2f}s at +{tolerance:.0%}"
                 + (f", machine ratio {ratio:.2f}" if ratio != 1.0 else "") + ")"
             ))
+        if name == "pipeline_sharded_1m":
+            speedup = cur_entry.get("speedup_4w")
+            cpus = float(cur_entry.get("cpu_count", 1.0))
+            if speedup is not None and cpus >= 4 and float(speedup) < 3.0:
+                problems.append((name,
+                    f"stage {name!r} sharded speedup is {float(speedup):.2f}x "
+                    f"at 4 workers on {cpus:.0f} CPUs; the floor is 3.0x"
+                ))
         for key, base_value in base_entry.items():
+            if key.endswith("_parity"):
+                cur_value = cur_entry.get(key)
+                if cur_value is None:
+                    problems.append((None,
+                        f"stage {name!r} parity flag {key!r} present in "
+                        f"baseline but missing from this run"))
+                elif float(cur_value) != 1.0:
+                    problems.append((None,
+                        f"stage {name!r} parity flag {key!r} is "
+                        f"{float(cur_value)}; outputs must be identical "
+                        f"(deterministic, no re-run)"))
+                continue
             if key.endswith("_overhead_ratio"):
                 cur_value = cur_entry.get(key)
                 if cur_value is None:

@@ -5,6 +5,7 @@ from .blocking import (
     AttributeEqualityBlocker,
     BlockingStats,
     CandidateGenerator,
+    CandidateSet,
     TokenBlocker,
     ground_truth_pairs,
     possible_cross_source_pairs,
@@ -48,6 +49,7 @@ __all__ = [
     "AttributeEqualityBlocker",
     "BlockingStats",
     "CandidateGenerator",
+    "CandidateSet",
     "ground_truth_pairs",
     "possible_cross_source_pairs",
     "train_test_split",

@@ -13,13 +13,15 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 from ..text.tokenizer import tokenize
 from .records import EntityPair, Record
 
 __all__ = ["TokenBlocker", "AttributeEqualityBlocker", "CandidateGenerator",
-           "BlockingStats", "ground_truth_pairs", "possible_cross_source_pairs"]
+           "CandidateSet", "BlockingStats", "ground_truth_pairs",
+           "possible_cross_source_pairs"]
 
 
 def ground_truth_pairs(records: Sequence[Record],
@@ -156,6 +158,50 @@ class BlockingStats:
         return self.possible_pairs / max(self.num_candidates, 1)
 
 
+class CandidateSet(Sequence):
+    """Deduplicated candidate pairs bundled with their precomputed keys.
+
+    :meth:`CandidateGenerator.generate` already dedupes on the sorted
+    ``(record_id, record_id)`` key, so the key set exists the moment the
+    pairs do; carrying both lets :meth:`CandidateGenerator.stats` and
+    :meth:`~CandidateGenerator.recall` reuse it instead of re-deriving every
+    pair key on each reporting call.  Behaves as a read-only sequence of
+    :class:`EntityPair`, so existing callers that iterate or ``len()`` the
+    result of ``generate`` keep working unchanged.
+    """
+
+    __slots__ = ("pairs", "keys")
+
+    def __init__(self, pairs: Sequence[EntityPair],
+                 keys: Iterable[Tuple[str, str]]) -> None:
+        self.pairs: Tuple[EntityPair, ...] = tuple(pairs)
+        self.keys: FrozenSet[Tuple[str, str]] = frozenset(keys)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __getitem__(self, index):
+        return self.pairs[index]
+
+    def __iter__(self) -> Iterator[EntityPair]:
+        return iter(self.pairs)
+
+    def __repr__(self) -> str:
+        return f"CandidateSet({len(self.pairs)} pairs)"
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[EntityPair]) -> "CandidateSet":
+        """Build from bare pairs, deriving the keys once (legacy inputs)."""
+        pairs = tuple(pairs)
+        keys: Set[Tuple[str, str]] = set()
+        for pair in pairs:
+            key = (pair.left.record_id, pair.right.record_id)
+            if key[0] > key[1]:
+                key = (key[1], key[0])
+            keys.add(key)
+        return cls(pairs, keys)
+
+
 class CandidateGenerator:
     """Combine blockers and produce :class:`EntityPair` candidates.
 
@@ -170,20 +216,28 @@ class CandidateGenerator:
             raise ValueError("CandidateGenerator requires at least one blocker")
         self.cross_source_only = cross_source_only
 
-    def generate(self, records: Sequence[Record]) -> List[EntityPair]:
-        """Return deduplicated candidate pairs from all blockers."""
+    def generate(self, records: Sequence[Record]) -> CandidateSet:
+        """Return deduplicated candidate pairs from all blockers.
+
+        The result is a :class:`CandidateSet` (a sequence of
+        :class:`EntityPair` plus the dedup key set), so passing it back to
+        :meth:`stats` or :meth:`recall` reuses the keys computed here —
+        blocking and key derivation run exactly once per corpus.
+        """
         seen: Set[Tuple[str, str]] = set()
         candidates: List[EntityPair] = []
         for blocker in self.blockers:
             for left, right in blocker.candidate_pairs(records):
                 if self.cross_source_only and left.source == right.source:
                     continue
-                key = tuple(sorted((left.record_id, right.record_id)))
+                key = (left.record_id, right.record_id)
+                if key[0] > key[1]:
+                    key = (key[1], key[0])
                 if key in seen:
                     continue
                 seen.add(key)
                 candidates.append(EntityPair(left=left, right=right, label=None))
-        return candidates
+        return CandidateSet(candidates, seen)
 
     def stats(self, records: Sequence[Record],
               candidates: Optional[Sequence[EntityPair]] = None) -> BlockingStats:
@@ -191,14 +245,17 @@ class CandidateGenerator:
 
         ``candidates`` accepts the output of a previous :meth:`generate` call
         so quality reporting never re-runs blocking; when omitted, blocking is
-        run once here.  Records without an entity id are ignored by the recall
-        computation (but still count toward the possible-pair space).
+        run once here.  A :class:`CandidateSet` contributes its precomputed
+        key set directly; a bare pair sequence has its keys derived once.
+        Records without an entity id are ignored by the recall computation
+        (but still count toward the possible-pair space).
         """
         if candidates is None:
             candidates = self.generate(records)
+        if not isinstance(candidates, CandidateSet):
+            candidates = CandidateSet.from_pairs(candidates)
         truth = ground_truth_pairs(records, self.cross_source_only)
-        retrieved = {tuple(sorted((pair.left.record_id, pair.right.record_id)))
-                     for pair in candidates}
+        retrieved = candidates.keys
         possible = possible_cross_source_pairs(records, self.cross_source_only)
         recall = len(truth & retrieved) / len(truth) if truth else 1.0
         return BlockingStats(

@@ -12,7 +12,10 @@ This package provides the surrounding production pipeline:
 * :mod:`~repro.pipeline.clustering` — union-find entity resolution with a
   transitivity-violation report and pairwise cluster metrics;
 * :mod:`~repro.pipeline.engine` — the :class:`LinkagePipeline` orchestrator,
-  also runnable as ``python -m repro.pipeline``.
+  also runnable as ``python -m repro.pipeline``;
+* :mod:`~repro.pipeline.sharded` — the :class:`ShardedPipeline` runner that
+  partitions blocking and scoring across worker processes behind a
+  skew-aware :class:`ShardRouter` (``python -m repro.pipeline --workers N``).
 """
 
 from .candidates import (CandidateGenerationStage, CandidateResult,
@@ -22,8 +25,10 @@ from .clustering import (ClusteringStage, ClusterResult, MatchEdge, UnionFind,
                          pairwise_cluster_metrics)
 from .engine import LinkagePipeline, PipelineConfig, PipelineResult
 from .index import (InitialsKeyIndex, InvertedTokenIndex, MinHashLSHIndex,
-                    record_tokens)
+                    build_blocking_indexes, record_tokens)
 from .scoring import ScoredCandidates, ScoringStage
+from .sharded import (ShardConfig, ShardedPipeline, ShardedPipelineResult,
+                      ShardReport, ShardRouter, shard_of_key)
 
 __all__ = [
     "CandidateGenerationStage",
@@ -39,11 +44,18 @@ __all__ = [
     "PipelineResult",
     "ScoredCandidates",
     "ScoringStage",
+    "ShardConfig",
+    "ShardReport",
+    "ShardRouter",
+    "ShardedPipeline",
+    "ShardedPipelineResult",
     "UnionFind",
     "apply_match_edges",
+    "build_blocking_indexes",
     "ground_truth_pairs",
     "order_match_edges",
     "pairwise_cluster_metrics",
     "possible_cross_source_pairs",
     "record_tokens",
+    "shard_of_key",
 ]

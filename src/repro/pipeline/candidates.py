@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 # re-exported here because they are part of this stage's reporting API.
 from ..data.blocking import ground_truth_pairs, possible_cross_source_pairs
 from ..data.records import EntityPair, Record
-from .index import InitialsKeyIndex, InvertedTokenIndex, MinHashLSHIndex
+from .index import build_blocking_indexes
 
 __all__ = ["CandidateGenerationStage", "CandidateResult", "ground_truth_pairs",
            "possible_cross_source_pairs"]
@@ -63,16 +63,11 @@ class CandidateGenerationStage:
                  initials_max_bucket_size: int = 16,
                  min_token_length: int = 3, seed: int = 7) -> None:
         if indexes is None:
-            indexes = (
-                MinHashLSHIndex(attributes=attributes, num_perm=num_perm, bands=bands,
-                                min_token_length=min_token_length,
-                                max_bucket_size=max_bucket_size, seed=seed),
-                InvertedTokenIndex(attributes=attributes,
-                                   min_token_length=min_token_length,
-                                   max_postings=max_postings),
-                InitialsKeyIndex(attributes=attributes,
-                                 max_bucket_size=initials_max_bucket_size),
-            )
+            indexes = build_blocking_indexes(
+                attributes=attributes, num_perm=num_perm, bands=bands,
+                lsh_max_bucket_size=max_bucket_size, max_postings=max_postings,
+                initials_max_bucket_size=initials_max_bucket_size,
+                min_token_length=min_token_length, seed=seed)
         self.indexes = list(indexes)
         if not self.indexes:
             raise ValueError("CandidateGenerationStage requires at least one index")

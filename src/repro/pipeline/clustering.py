@@ -24,7 +24,8 @@ from ..data.records import Record
 from .scoring import ScoredCandidates
 
 __all__ = ["UnionFind", "ClusteringStage", "ClusterResult", "MatchEdge",
-           "apply_match_edges", "order_match_edges", "pairwise_cluster_metrics"]
+           "apply_match_edges", "eligible_match_edges", "order_match_edges",
+           "pairwise_cluster_metrics"]
 
 # A thresholded match edge: (score, left record id, right record id) with
 # ``left < right`` under string order — the canonical key both the batch
@@ -144,6 +145,22 @@ def apply_match_edges(union_find: UnionFind,
     return matches, source_conflicts
 
 
+def eligible_match_edges(scored: ScoredCandidates, threshold: float) -> List[MatchEdge]:
+    """The thresholded match edges of ``scored``, in canonical best-first order.
+
+    Below-threshold pairs never become merge edges, so they are dropped
+    before the Python-level sort.  Both the batch :class:`ClusteringStage`
+    and the cross-shard merge of :class:`~repro.pipeline.sharded.ShardedPipeline`
+    resolve from exactly this edge list, which is what makes their cluster
+    output comparable edge-for-edge.
+    """
+    eligible = np.flatnonzero(np.asarray(scored.scores) >= threshold)
+    return order_match_edges(
+        (float(scored.scores[i]), scored.pairs[i].left.record_id,
+         scored.pairs[i].right.record_id)
+        for i in eligible.tolist())
+
+
 def pairwise_cluster_metrics(assignments: Dict[str, int],
                              truth: Dict[str, str]) -> Dict[str, float]:
     """Pairwise precision/recall/F1 of a clustering against entity ground truth.
@@ -238,14 +255,7 @@ class ClusteringStage:
                 f"scored pairs reference {len(unknown)} record id(s) not in "
                 f"`records` (e.g. {sorted(unknown)[:3]}); score and cluster "
                 f"over the same record set")
-        # Best-first merge order over the match edges only (below-threshold
-        # edges are never merged, so they are dropped before the Python-level
-        # sort), deterministic under score ties.
-        eligible = np.flatnonzero(np.asarray(scored.scores) >= self.threshold)
-        edges = order_match_edges(
-            (float(scored.scores[i]), scored.pairs[i].left.record_id,
-             scored.pairs[i].right.record_id)
-            for i in eligible.tolist())
+        edges = eligible_match_edges(scored, self.threshold)
         matches, source_conflicts = apply_match_edges(
             union_find, cluster_sources if self.source_consistent else None, edges)
 

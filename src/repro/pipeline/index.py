@@ -32,7 +32,8 @@ from ..data.records import Record
 from ..text.hashing import stable_hash
 from ..text.tokenizer import tokenize
 
-__all__ = ["InitialsKeyIndex", "InvertedTokenIndex", "MinHashLSHIndex", "record_tokens"]
+__all__ = ["InitialsKeyIndex", "InvertedTokenIndex", "MinHashLSHIndex",
+           "build_blocking_indexes", "record_tokens"]
 
 # Modulus for the universal hash family h(x) = (a*x + b) mod p. With a
 # Mersenne prime below 2**31 every operand stays below 2**31, so the uint64
@@ -97,6 +98,23 @@ class _BucketedIndex:
         bit-compatible with bulk ingestion.
         """
         raise NotImplementedError
+
+    def bucket_keys(self, record: Record) -> List[Hashable]:
+        """The bucket keys ``record`` lands in (public, read-only).
+
+        A pure function of the record and the index configuration — nothing
+        is registered or mutated.  This is the routing primitive shared by
+        the online :meth:`probe` path and the shard router of
+        :mod:`repro.pipeline.sharded`: any process that computes a record's
+        keys under an equally-configured index gets the identical key set.
+        """
+        return list(self._record_keys(record))
+
+    def bucket_keys_batch(self, records: Sequence[Record]) -> List[List[Hashable]]:
+        """Per-record bucket keys for a batch (read-only; vectorized where the
+        subclass supports it).  ``bucket_keys_batch(batch)[i]`` equals
+        ``bucket_keys(batch[i])`` for every ``i``."""
+        return [list(self._record_keys(record)) for record in records]
 
     def preview_one(self, record: Record
                     ) -> Tuple[int, List[Tuple[int, int]], List[List[int]], List[Hashable]]:
@@ -430,6 +448,14 @@ class MinHashLSHIndex(_BucketedIndex):
         keys = self._band_keys(self.signatures([record]))
         return [(band, int(keys[band, 0])) for band in range(self.bands)]
 
+    def bucket_keys_batch(self, records: Sequence[Record]) -> List[List[Tuple[int, int]]]:
+        """Vectorized batch variant: one signature pass for all ``records``."""
+        if not records:
+            return []
+        keys = self._band_keys(self.signatures(list(records)))
+        return [[(band, int(keys[band, i])) for band in range(self.bands)]
+                for i in range(len(records))]
+
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
@@ -454,3 +480,32 @@ class MinHashLSHIndex(_BucketedIndex):
             "bands": self.bands,
             "rows": self.rows,
         }
+
+
+def build_blocking_indexes(attributes: Optional[Sequence[str]] = None,
+                           num_perm: int = 128, bands: int = 32,
+                           lsh_max_bucket_size: int = 8, max_postings: int = 8,
+                           initials_max_bucket_size: int = 16,
+                           min_token_length: int = 3, seed: int = 7,
+                           ) -> Tuple[MinHashLSHIndex, InvertedTokenIndex,
+                                      InitialsKeyIndex]:
+    """The canonical blocking-index triple, from the shared config knobs.
+
+    One construction site for the three complementary indexes so the batch
+    candidate stage (:class:`~repro.pipeline.candidates.CandidateGenerationStage`),
+    the online :class:`~repro.serve.EntityStore` and the shard workers of
+    :mod:`repro.pipeline.sharded` can never drift apart: equal knobs produce
+    indexes with identical bucket keys and cap semantics, which is the
+    foundation of every streamed==batch and sharded==single-process parity
+    guarantee in this codebase.
+    """
+    return (
+        MinHashLSHIndex(attributes=attributes, num_perm=num_perm, bands=bands,
+                        min_token_length=min_token_length,
+                        max_bucket_size=lsh_max_bucket_size, seed=seed),
+        InvertedTokenIndex(attributes=attributes,
+                           min_token_length=min_token_length,
+                           max_postings=max_postings),
+        InitialsKeyIndex(attributes=attributes,
+                         max_bucket_size=initials_max_bucket_size),
+    )

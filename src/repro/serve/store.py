@@ -49,8 +49,7 @@ from ..obs import BoundHandles
 from ..pipeline.clustering import (MatchEdge, UnionFind, apply_match_edges,
                                    order_match_edges)
 from ..pipeline.engine import PipelineConfig
-from ..pipeline.index import (InitialsKeyIndex, InvertedTokenIndex,
-                              MinHashLSHIndex)
+from ..pipeline.index import build_blocking_indexes
 from ..utils.serialization import load_json, save_json
 
 __all__ = ["EntityStore", "StoreConfig", "QueryMatch", "SNAPSHOT_FORMAT_VERSION"]
@@ -205,18 +204,13 @@ class EntityStore:
         self._upsert_score_fn = upsert_score_fn
         self._lock = threading.RLock()
         config_ = self.config
-        self._indexes = (
-            MinHashLSHIndex(attributes=config_.blocking_attributes,
-                            num_perm=config_.num_perm, bands=config_.bands,
-                            min_token_length=config_.min_token_length,
-                            max_bucket_size=config_.lsh_max_bucket_size,
-                            seed=config_.seed),
-            InvertedTokenIndex(attributes=config_.blocking_attributes,
-                               min_token_length=config_.min_token_length,
-                               max_postings=config_.max_postings),
-            InitialsKeyIndex(attributes=config_.blocking_attributes,
-                             max_bucket_size=config_.initials_max_bucket_size),
-        )
+        self._indexes = build_blocking_indexes(
+            attributes=config_.blocking_attributes,
+            num_perm=config_.num_perm, bands=config_.bands,
+            lsh_max_bucket_size=config_.lsh_max_bucket_size,
+            max_postings=config_.max_postings,
+            initials_max_bucket_size=config_.initials_max_bucket_size,
+            min_token_length=config_.min_token_length, seed=config_.seed)
         self._records: List[Record] = []
         self._position: Dict[str, int] = {}
         # Candidate bookkeeping: pair -> number of live buckets (across all
@@ -546,7 +540,7 @@ class EntityStore:
         # serialize, and only the bucket lookups contend with upserts.  (The
         # MinHash token-hash memo is written benignly-racily: values are
         # deterministic, so a lost update merely recomputes.)
-        probe_keys = [list(index._record_keys(record)) for index in self._indexes]
+        probe_keys = [index.bucket_keys(record) for index in self._indexes]
         with self._lock:
             positions: Set[int] = set()
             for index, keys in zip(self._indexes, probe_keys):
@@ -596,6 +590,44 @@ class EntityStore:
         with self._lock:
             return {type(index).__name__: index.skew_stats(top_k=top_k)
                     for index in self._indexes}
+
+    def bucket_load_report(self, num_shards: int) -> Dict[str, object]:
+        """How this store's buckets would distribute over ``num_shards``.
+
+        Maps every live bucket through the shard hash of
+        :mod:`repro.pipeline.sharded` and sums estimated pair loads
+        (``C(size, 2)``) per shard — the capacity-planning view for moving a
+        store's corpus onto the sharded batch pipeline.  Diagnostics call:
+        walks every bucket under the store lock.
+        """
+        from ..obs.stats import gini
+        from ..pipeline.sharded import shard_of_key
+
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        loads = [0] * num_shards
+        live_buckets = 0
+        dead_buckets = 0
+        with self._lock:
+            for index_id, index in enumerate(self._indexes):
+                cap = index.max_bucket_size
+                for key, size in index.bucket_sizes().items():
+                    if size > cap:
+                        dead_buckets += 1
+                        continue
+                    if size < 2:
+                        continue
+                    live_buckets += 1
+                    loads[shard_of_key(index_id, key, num_shards)] += (
+                        size * (size - 1) // 2)
+        return {
+            "num_shards": num_shards,
+            "live_buckets": live_buckets,
+            "dead_buckets": dead_buckets,
+            "shard_loads": loads,
+            "total_pair_load": sum(loads),
+            "gini": gini(loads),
+        }
 
     def _is_probe_candidate(self, record: Record, position: int) -> bool:
         if not self.config.cross_source_only:

@@ -8,9 +8,10 @@ from repro.data import (
     AttributeEqualityBlocker,
     BlockingStats,
     CandidateGenerator,
+    CandidateSet,
     TokenBlocker,
 )
-from repro.data.records import Record
+from repro.data.records import EntityPair, Record
 
 
 def _record(record_id, source, name, entity_id=None):
@@ -104,3 +105,69 @@ class TestCandidateGeneratorStats:
 
     def test_recall_keeps_float_contract(self, generator, records):
         assert isinstance(generator.recall(records), float)
+
+
+class _CountingBlocker(TokenBlocker):
+    """A TokenBlocker that counts how often blocking actually runs."""
+
+    def __init__(self, attribute):
+        super().__init__(attribute)
+        self.calls = 0
+
+    def candidate_pairs(self, records, max_block_size=50):
+        self.calls += 1
+        return super().candidate_pairs(records, max_block_size=max_block_size)
+
+
+class TestCandidateSetBundle:
+    @pytest.fixture()
+    def records(self):
+        return [
+            _record("a1", "s1", "neil diamond", entity_id="e1"),
+            _record("a2", "s2", "neil diamond", entity_id="e1"),
+            _record("b1", "s1", "aretha franklin", entity_id="e2"),
+            _record("b2", "s2", "aretha franklin", entity_id="e2"),
+        ]
+
+    def test_generate_returns_candidate_set_sequence(self, records):
+        generator = CandidateGenerator([TokenBlocker("name")])
+        candidates = generator.generate(records)
+        assert isinstance(candidates, CandidateSet)
+        # Sequence contract: len, indexing, iteration over EntityPair.
+        assert len(candidates) == 2
+        assert all(isinstance(pair, EntityPair) for pair in candidates)
+        assert candidates[0] is candidates.pairs[0]
+        assert candidates.keys == {("a1", "a2"), ("b1", "b2")}
+
+    def test_blocking_runs_exactly_once_with_precomputed_bundle(self, records):
+        # The regression: stats()/recall() used to re-derive every pair key
+        # (and, without `candidates=`, re-run blocking) on each call.
+        blocker = _CountingBlocker("name")
+        generator = CandidateGenerator([blocker])
+        candidates = generator.generate(records)
+        assert blocker.calls == 1
+        stats = generator.stats(records, candidates=candidates)
+        recall = generator.recall(records, candidates=candidates)
+        assert blocker.calls == 1  # reporting never re-ran blocking
+        assert recall == stats.recall == 1.0
+        # Without the bundle, blocking legitimately runs one more time.
+        generator.stats(records)
+        assert blocker.calls == 2
+
+    def test_stats_trusts_bundle_keys(self, records):
+        generator = CandidateGenerator([TokenBlocker("name")])
+        candidates = generator.generate(records)
+        # A bundle with an artificially truncated key set: stats must reflect
+        # the bundle's keys, proving it never re-derives them from the pairs.
+        truncated = CandidateSet(candidates.pairs, [("a1", "a2")])
+        stats = generator.stats(records, candidates=truncated)
+        assert stats.num_candidates == 1
+        assert stats.recall == pytest.approx(1 / 2)
+
+    def test_legacy_plain_pair_lists_still_accepted(self, records):
+        generator = CandidateGenerator([TokenBlocker("name")])
+        plain = list(generator.generate(records))
+        stats = generator.stats(records, candidates=plain)
+        assert stats == generator.stats(records)
+        bundle = CandidateSet.from_pairs(plain)
+        assert bundle.keys == {("a1", "a2"), ("b1", "b2")}

@@ -120,6 +120,31 @@ class TestLinkagePipeline:
         assert summary["stages"]["block"]["MinHashLSHIndex_buckets"] > 0
         assert "InvertedTokenIndex_overflowed_tokens" in summary["stages"]["block"]
 
+    def test_blocking_runs_exactly_once_per_run(self, predictor, tiny_music_corpus,
+                                                monkeypatch):
+        # Regression guard for double-blocking: one pipeline run must call
+        # candidate generation once and each index's pair enumeration once —
+        # stats/reporting paths may not silently re-run blocking.
+        from repro.pipeline import candidates as candidates_module
+        from repro.pipeline.index import _BucketedIndex
+
+        generate_calls = []
+        original_generate = candidates_module.CandidateGenerationStage.generate
+        monkeypatch.setattr(
+            candidates_module.CandidateGenerationStage, "generate",
+            lambda self: generate_calls.append(1) or original_generate(self))
+        pair_calls = []
+        original_pairs = _BucketedIndex.candidate_pairs
+        monkeypatch.setattr(
+            _BucketedIndex, "candidate_pairs",
+            lambda self, cross_source_only=False: pair_calls.append(1)
+            or original_pairs(self, cross_source_only=cross_source_only))
+
+        result = LinkagePipeline(predictor).run(tiny_music_corpus.records)
+        assert sum(generate_calls) == 1
+        assert sum(pair_calls) == 3  # one enumeration per blocking index
+        assert result.candidates.stats["num_candidates"] > 0
+
     def test_write_outputs(self, pipeline_result, tmp_path):
         output_dir = pipeline_result.write(tmp_path / "out")
         clusters = [json.loads(line)
