@@ -1,0 +1,35 @@
+"""Benchmark: distributed telemetry — worker capture, payload merge, shape.
+
+Runs the ``obs_distributed`` stage and checks the claims the ``--check``
+gate enforces: worker capture + merge stays cheap relative to a telemetry-off
+run, every non-empty shard ships exactly one ``sharded.worker`` span (also
+under fork) re-rooted into the driver's tree, the per-shard phase histogram
+is observed exactly once per shard per phase, and in-process worker spans
+account for the ``sharded.score`` wall time.
+"""
+
+import pytest
+
+from repro.bench.runner import _stage_obs_distributed
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_distributed(benchmark, bench_scale, bench_seed):
+    extras = benchmark.pedantic(
+        lambda: _stage_obs_distributed(bench_scale, bench_seed),
+        rounds=1, iterations=1)
+    print()
+    print({key: round(float(value), 4) for key, value in extras.items()})
+
+    # Shape claims: exact, deterministic.
+    assert extras["expected_worker_spans"] >= 1.0
+    assert extras["worker_span_parity"] == 1.0
+    assert extras["shard_seconds_once_parity"] == 1.0
+    assert extras["worker_span_fork_parity"] == 1.0
+    # In-process worker spans cover the driver's scoring span.
+    assert 0.9 <= extras["worker_span_coverage"] <= 1.1
+    # Cost claim: capture + merge is bounded (the --check ceiling is 1.20x;
+    # the benchmark asserts the same bound on a single measurement).
+    assert extras["merge_overhead_ratio"] <= 1.20
+    assert extras["baseline_seconds"] > 0.0
+    assert extras["telemetry_seconds"] > 0.0

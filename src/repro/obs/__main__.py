@@ -9,7 +9,9 @@ Renders the telemetry dashboard from either
   artifacts.
 
 ``--exposition`` prints the Prometheus text format instead of the dashboard
-(export mode reconstructs it from the metric lines).
+(export mode reconstructs it from the metric lines); ``--timeline`` prints
+per-shard ASCII Gantt timelines of the pipeline trace trees — the view that
+shows worker overlap and stragglers after a sharded ``--workers N`` run.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from typing import List, Mapping, Optional, Sequence
 from . import telemetry, write_export
 from .dashboard import render_dashboard
 from .export import ExportError, load_export
+from .timeline import render_timelines
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --demo: also write the run's telemetry export here")
     parser.add_argument("--exposition", action="store_true",
                         help="print Prometheus text exposition instead of the dashboard")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print per-shard ASCII Gantt timelines of the "
+                             "pipeline trace trees instead of the dashboard")
     parser.add_argument("--max-traces", type=int, default=5,
                         help="trace trees to show, newest first (default: 5)")
     parser.add_argument("--seed", type=int, default=0,
@@ -72,7 +78,8 @@ def _exposition_from_export(metrics: Sequence[Mapping[str, object]]) -> str:
 
 
 def _run_demo(seed: int, export_path: Optional[str],
-              max_traces: int, exposition: bool) -> int:
+              max_traces: int, exposition: bool,
+              timeline: bool = False) -> int:
     # Imported lazily: the export path of this CLI must work without pulling
     # in the model/pipeline stack.
     from ..bench.runner import select_scale
@@ -101,6 +108,9 @@ def _run_demo(seed: int, export_path: Optional[str],
         print(f"demo: wrote telemetry export to {path}", flush=True)
     if exposition:
         print(session.registry.exposition(), end="")
+    elif timeline:
+        print(render_timelines(
+            [root.to_dict() for root in session.collector.roots()]))
     else:
         print(render_dashboard(
             metrics=session.registry.snapshot(),
@@ -116,9 +126,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --export only applies to --demo (use --from-export to read)",
               file=sys.stderr)
         return 2
+    if args.exposition and args.timeline:
+        print("error: --exposition and --timeline are mutually exclusive",
+              file=sys.stderr)
+        return 2
 
     if args.demo:
-        return _run_demo(args.seed, args.export, args.max_traces, args.exposition)
+        return _run_demo(args.seed, args.export, args.max_traces,
+                         args.exposition, args.timeline)
 
     try:
         export = load_export(args.from_export)
@@ -130,6 +145,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.exposition:
         print(_exposition_from_export(export["metrics"]), end="")
+    elif args.timeline:
+        print(render_timelines(export["traces"]))
     else:
         print(render_dashboard(metrics=export["metrics"],
                                traces=export["traces"],

@@ -4,8 +4,8 @@ One export file carries the whole story of a run: a ``meta`` line, one line
 per metric series, and one line per trace tree.  The format is line-oriented
 JSON so exports stream, diff, and grep well:
 
-``{"type": "meta", "created_at": ..., "argv": [...]}``
-    First line; identifies the producing process.
+``{"type": "meta", "schema": 2, "created_at": ..., "argv": [...]}``
+    First line; identifies the producing process and the schema version.
 ``{"type": "metric", "kind": "counter"|"gauge", "name", "labels", "value", ...}``
     One line per counter/gauge series (gauges also carry ``max``).
 ``{"type": "metric", "kind": "histogram", "name", "labels", "count", "sum",
@@ -31,11 +31,18 @@ from typing import Dict, List, Optional, Union
 from .metrics import MetricsRegistry, active_registry
 from .tracing import TraceCollector, active_collector
 
-__all__ = ["write_export", "load_export", "ExportError"]
+__all__ = ["write_export", "load_export", "ExportError",
+           "EXPORT_SCHEMA_VERSION", "SUPPORTED_EXPORT_SCHEMAS"]
+
+# Version 1: the original meta/metric/trace lines (no schema field).
+# Version 2: meta carries "schema"; traces may include merged worker spans.
+EXPORT_SCHEMA_VERSION = 2
+SUPPORTED_EXPORT_SCHEMAS = (1, 2)
 
 
 class ExportError(ValueError):
-    """Raised when an export file is malformed or empty."""
+    """Raised when an export file is malformed, empty, or from an
+    unsupported schema version."""
 
 
 def write_export(path: Union[str, Path],
@@ -53,8 +60,8 @@ def write_export(path: Union[str, Path],
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        meta = {"type": "meta", "created_at": time.time(),
-                "argv": list(sys.argv)}
+        meta = {"type": "meta", "schema": EXPORT_SCHEMA_VERSION,
+                "created_at": time.time(), "argv": list(sys.argv)}
         handle.write(json.dumps(meta) + "\n")
         if registry is not None:
             for entry in registry.snapshot():
@@ -74,7 +81,10 @@ def load_export(path: Union[str, Path]) -> Dict[str, object]:
     ``metrics`` is a list of series dicts (the registry snapshot format),
     ``traces`` a list of root span trees.  Unknown line types are ignored so
     the format can grow; malformed JSON raises :class:`ExportError` with the
-    offending line number.
+    offending line number.  The meta line's ``schema`` field (absent = 1)
+    must be a supported version — an unknown version raises
+    :class:`ExportError` immediately rather than failing deep inside the
+    dashboard on a shape it cannot know about.
     """
     path = Path(path)
     meta: Dict[str, object] = {}
@@ -92,6 +102,13 @@ def load_export(path: Union[str, Path]) -> Dict[str, object]:
                                   f"({exc.msg})") from exc
             kind = line.get("type")
             if kind == "meta":
+                schema = line.get("schema", 1)
+                if not isinstance(schema, int) or schema not in SUPPORTED_EXPORT_SCHEMAS:
+                    raise ExportError(
+                        f"{path}:{line_number}: export schema version "
+                        f"{schema!r} is not supported (this build reads "
+                        f"{SUPPORTED_EXPORT_SCHEMAS}); re-export with a "
+                        f"matching repro version")
                 meta = line
             elif kind == "metric":
                 metrics.append(line)

@@ -1,0 +1,141 @@
+"""Mergeable telemetry: ship worker snapshots across processes and fold them in.
+
+A forked sharded worker (:mod:`repro.pipeline.sharded`) runs its phase under
+its *own* registry + collector, then ships everything back as one picklable
+:class:`TelemetryPayload` — a plain-dict metrics snapshot plus a span-tree
+forest.  The driver folds payloads into its live session with
+:func:`merge_payload`, so ``--export`` and the dashboard see one coherent
+story instead of per-process fragments.
+
+The merge is an algebra over snapshot entries, keyed by ``(name, labels)``:
+
+* **counters sum** — events happened in both processes;
+* **gauges take the watermark max** — point-in-time values from different
+  processes do not add, but "the deepest any queue ever got" is well defined;
+* **histograms add bucket-wise** — both sides must share the same fixed
+  bucket bounds (mismatched layouts raise), so counts, ``sum``/``count`` and
+  the min/max extrema combine losslessly;
+* **labeled series union** — a series seen by only one side is simply
+  registered on the other (registration is idempotent, so repeated merges of
+  disjoint label sets commute).
+
+Because every operation is commutative and associative (up to float
+rounding; bucket counts are exact integers), merging N worker snapshots in
+any order equals recording everything in one registry — the property the
+merge-algebra tests assert.
+
+Span forests re-root under a caller-supplied parent span: each shipped root
+(e.g. a worker's ``sharded.worker`` tree) becomes a child of the driver's
+enclosing span, tagged with whatever labels the caller adds (shard id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .metrics import (MetricsRegistry, active_registry)
+from .tracing import NOOP_SPAN, Span, TraceCollector, active_collector
+
+__all__ = ["TelemetryPayload", "capture_payload", "merge_metric_entries",
+           "merge_payload"]
+
+
+@dataclass
+class TelemetryPayload:
+    """One process's telemetry, in plain picklable dicts.
+
+    ``metrics`` is a registry snapshot (``MetricsRegistry.snapshot()``
+    format), ``spans`` a list of root span trees (``Span.to_dict()`` format),
+    ``context`` free-form provenance (shard id, pid, ...).  Nothing here
+    holds locks or live objects, so the payload crosses pickle/fork/JSON
+    boundaries unchanged.
+    """
+
+    metrics: List[Dict[str, object]] = field(default_factory=list)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    context: Dict[str, object] = field(default_factory=dict)
+
+
+def capture_payload(registry: Optional[MetricsRegistry] = None,
+                    collector: Optional[TraceCollector] = None,
+                    **context: object) -> TelemetryPayload:
+    """Snapshot a registry + collector into a shippable payload.
+
+    Defaults to the active pair; either side may be absent (a payload with
+    metrics but no spans is fine, and vice versa).
+    """
+    registry = registry if registry is not None else active_registry()
+    collector = collector if collector is not None else active_collector()
+    return TelemetryPayload(
+        metrics=registry.snapshot() if registry is not None else [],
+        spans=[root.to_dict() for root in collector.roots()]
+        if collector is not None else [],
+        context=dict(context))
+
+
+def merge_metric_entries(registry: MetricsRegistry,
+                         entries: Iterable[Mapping[str, object]]) -> None:
+    """Fold snapshot entries into ``registry`` under the merge algebra.
+
+    Unknown series are registered on the fly (labeled-series union); known
+    series combine kind-appropriately via each instrument's
+    ``merge_snapshot``.  A kind clash or a histogram bucket-layout mismatch
+    raises ``ValueError`` — silent resolution loss is worse than a loud
+    merge failure.
+    """
+    for entry in entries:
+        kind = entry.get("kind")
+        name = str(entry["name"])
+        labels = dict(entry.get("labels") or {})  # type: ignore[arg-type]
+        help_text = str(entry.get("help") or "")
+        if kind == "counter":
+            registry.counter(name, help_text, labels).merge_snapshot(entry)
+        elif kind == "gauge":
+            registry.gauge(name, help_text, labels).merge_snapshot(entry)
+        elif kind == "histogram":
+            bounds = [float(bound) for bound, _ in
+                      (entry.get("buckets") or ())  # type: ignore[union-attr]
+                      if not isinstance(bound, str)]
+            if not bounds:
+                raise ValueError(f"histogram entry {name!r} has no finite "
+                                 f"bucket bounds; cannot merge")
+            registry.histogram(name, help_text, labels,
+                               buckets=bounds).merge_snapshot(entry)
+        else:
+            raise ValueError(f"cannot merge metric entry {name!r} of "
+                             f"unknown kind {kind!r}")
+
+
+def merge_payload(payload: TelemetryPayload,
+                  registry: Optional[MetricsRegistry] = None,
+                  collector: Optional[TraceCollector] = None,
+                  parent: Optional[Span] = None,
+                  **span_labels: object) -> List[Span]:
+    """Fold one worker payload into a live telemetry session.
+
+    Metrics merge into ``registry`` (default: the active one; skipped while
+    telemetry is off).  Each shipped root span is rebuilt, tagged with
+    ``span_labels`` (e.g. ``shard=3``) and re-rooted as a child of
+    ``parent``; with no parent the roots go to ``collector`` (default: the
+    active one) as standalone trees.  Returns the adopted spans.
+    """
+    registry = registry if registry is not None else active_registry()
+    if registry is not None and payload.metrics:
+        merge_metric_entries(registry, payload.metrics)
+
+    adopted: List[Span] = []
+    for node in payload.spans:
+        span = Span.from_dict(node)
+        span.attributes.update(span_labels)
+        adopted.append(span)
+    if not adopted:
+        return adopted
+    if parent is not None and parent is not NOOP_SPAN:
+        parent.children.extend(adopted)
+    else:
+        collector = collector if collector is not None else active_collector()
+        if collector is not None:
+            for span in adopted:
+                collector.add_root(span)
+    return adopted

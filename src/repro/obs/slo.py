@@ -1,0 +1,245 @@
+"""Rolling-window SLOs with multi-window burn-rate evaluation.
+
+One layer above raw metrics: an *objective* promises that a fraction
+(``target``) of events over a rolling window are *good*, and evaluation
+reports how fast the error budget is burning.  Three objective kinds cover
+the serving path:
+
+* ``latency_quantile`` — an event is good when its latency is at or below
+  ``threshold`` seconds; with ``target=0.95`` that is exactly "p95 ≤
+  threshold".  Evaluation also reports the observed quantile per window.
+* ``error_rate`` — an event is good when it did not error; ``threshold`` is
+  unused.
+* ``queue_saturation`` — an event is a queue-fullness sample in ``[0, 1]``
+  (queued pairs over the backpressure bound); good when at or below
+  ``threshold``.
+
+**Multi-window burn rate** (the SRE alerting discipline): for each of two
+rolling windows — a short one that reacts fast and a long one that filters
+blips — the burn rate is ``(1 - good_ratio) / (1 - target)``: 1.0 means the
+error budget is being spent exactly at the sustainable pace, higher means
+faster.  An objective is
+
+* ``breached`` when *both* windows burn at ``burn_threshold`` or above
+  (the problem is real and sustained),
+* ``burning`` when only the short window does (spike — watch it),
+* ``pass`` otherwise, and ``no_data`` with no samples in the long window.
+
+:class:`SLOMonitor` holds a catalog of objectives, takes recordings from
+request paths (thread-safe; an injectable clock keeps tests deterministic)
+and renders one ``health()`` report — the payload behind
+``python -m repro.serve --health``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SLO", "SLOConfig", "SLOMonitor", "default_service_objectives",
+           "format_health"]
+
+SLO_KINDS = ("latency_quantile", "error_rate", "queue_saturation")
+
+# Short window reacts to spikes; long window confirms they are sustained.
+DEFAULT_WINDOWS: Tuple[float, float] = (60.0, 600.0)
+
+# Rank for folding per-objective statuses into one overall verdict.
+_STATUS_RANK = {"no_data": 0, "pass": 1, "burning": 2, "breached": 3}
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """One objective: what fraction of events must be good, and what good means."""
+
+    name: str
+    kind: str
+    target: float = 0.99
+    threshold: float = 0.05
+    windows: Tuple[float, float] = DEFAULT_WINDOWS
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; "
+                             f"expected one of {SLO_KINDS}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        short, long = self.windows
+        if not 0.0 < short < long:
+            raise ValueError(f"windows must be (short, long) with "
+                             f"0 < short < long, got {self.windows}")
+        if self.burn_threshold <= 0:
+            raise ValueError(f"burn_threshold must be positive, "
+                             f"got {self.burn_threshold}")
+
+
+class SLO:
+    """Rolling sample window plus burn-rate evaluation for one objective."""
+
+    def __init__(self, config: SLOConfig,
+                 clock=time.monotonic) -> None:
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (timestamp, value, good); pruned to the long window on record.
+        self._samples: Deque[Tuple[float, float, bool]] = deque()
+
+    def record(self, value: float, good: Optional[bool] = None,
+               now: Optional[float] = None) -> None:
+        """Record one event; ``good`` defaults to ``value <= threshold``.
+
+        ``error_rate`` recorders pass ``good`` explicitly (the value is just
+        carried along); latency/saturation recorders let the threshold
+        decide.
+        """
+        now = self._clock() if now is None else now
+        if good is None:
+            good = float(value) <= self.config.threshold
+        horizon = now - self.config.windows[1]
+        with self._lock:
+            self._samples.append((now, float(value), bool(good)))
+            while self._samples and self._samples[0][0] < horizon:
+                self._samples.popleft()
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Burn rates over both windows, folded into one status."""
+        now = self._clock() if now is None else now
+        config = self.config
+        with self._lock:
+            samples = [s for s in self._samples
+                       if s[0] >= now - config.windows[1]]
+
+        budget = 1.0 - config.target
+        windows: Dict[str, Dict[str, float]] = {}
+        burns: List[float] = []
+        for horizon in config.windows:
+            scoped = [s for s in samples if s[0] >= now - horizon]
+            total = len(scoped)
+            good = sum(1 for s in scoped if s[2])
+            good_ratio = good / total if total else 1.0
+            burn = (1.0 - good_ratio) / budget if total else 0.0
+            burns.append(burn)
+            entry: Dict[str, float] = {
+                "seconds": horizon,
+                "total": float(total),
+                "good": float(good),
+                "good_ratio": good_ratio,
+                "burn_rate": burn,
+            }
+            if config.kind == "latency_quantile" and total:
+                entry["observed_quantile"] = float(np.percentile(
+                    [s[1] for s in scoped], config.target * 100.0))
+            windows[f"{horizon:g}s"] = entry
+
+        if not samples:
+            status = "no_data"
+        elif all(b >= config.burn_threshold for b in burns):
+            status = "breached"
+        elif burns[0] >= config.burn_threshold:
+            status = "burning"
+        else:
+            status = "pass"
+        return {
+            "name": config.name,
+            "kind": config.kind,
+            "target": config.target,
+            "threshold": config.threshold,
+            "burn_threshold": config.burn_threshold,
+            "status": status,
+            "windows": windows,
+        }
+
+
+class SLOMonitor:
+    """A catalog of objectives with one combined health verdict."""
+
+    def __init__(self, objectives: Sequence[SLOConfig],
+                 clock=time.monotonic) -> None:
+        self._slos: Dict[str, SLO] = {}
+        for config in objectives:
+            if config.name in self._slos:
+                raise ValueError(f"duplicate SLO name {config.name!r}")
+            self._slos[config.name] = SLO(config, clock=clock)
+
+    def slo(self, name: str) -> SLO:
+        return self._slos[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._slos
+
+    def names(self) -> List[str]:
+        return list(self._slos)
+
+    def record(self, name: str, value: float, good: Optional[bool] = None,
+               now: Optional[float] = None) -> None:
+        """Record one event against the named objective."""
+        self._slos[name].record(value, good=good, now=now)
+
+    def health(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Evaluate every objective; overall status is the worst observed.
+
+        ``no_data`` objectives never drag a healthy report down — the
+        overall verdict is the worst status among objectives *with* data,
+        and ``no_data`` only when nothing has recorded anything.
+        """
+        objectives = [slo.evaluate(now=now) for slo in self._slos.values()]
+        with_data = [o for o in objectives if o["status"] != "no_data"]
+        if with_data:
+            overall = max(with_data,
+                          key=lambda o: _STATUS_RANK[o["status"]])["status"]
+        else:
+            overall = "no_data"
+        return {"status": overall, "objectives": objectives}
+
+
+def default_service_objectives() -> Tuple[SLOConfig, ...]:
+    """The serving catalog (documented in docs/observability.md).
+
+    Thresholds fit the coalesced CPU service: queries ride fused
+    micro-batches (tens of ms under load), upserts serialize on the store
+    lock and scan more pairs, and queue saturation above 0.8 means
+    backpressure is imminent.
+    """
+    return (
+        SLOConfig("serve_query_latency", "latency_quantile",
+                  target=0.95, threshold=0.250),
+        SLOConfig("serve_upsert_latency", "latency_quantile",
+                  target=0.95, threshold=0.500),
+        SLOConfig("serve_error_rate", "error_rate", target=0.999),
+        SLOConfig("coalescer_queue_saturation", "queue_saturation",
+                  target=0.99, threshold=0.8),
+    )
+
+
+def format_health(report: Dict[str, object], uptime: Optional[float] = None) -> str:
+    """Render a ``health()`` report as the ``serve --health`` text block."""
+    lines = [f"service health: {str(report['status']).upper()}"
+             + (f"  (uptime {uptime:.1f}s)" if uptime is not None else "")]
+    header = (f"  {'objective':<28} {'kind':<18} {'status':<9} "
+              f"{'short burn':>10} {'long burn':>10}  detail")
+    lines.append(header)
+    for objective in report["objectives"]:  # type: ignore[union-attr]
+        windows = list(objective["windows"].values())
+        short, long = windows[0], windows[-1]
+        if objective["kind"] == "latency_quantile":
+            observed = long.get("observed_quantile")
+            quantile = f"p{objective['target'] * 100:g}"
+            detail = (f"{quantile} {observed * 1000.0:.1f} ms vs "
+                      f"{objective['threshold'] * 1000.0:.1f} ms"
+                      if observed is not None else "no samples")
+        elif objective["kind"] == "error_rate":
+            detail = (f"{int(long['total'] - long['good'])} errors / "
+                      f"{int(long['total'])} requests")
+        else:
+            detail = (f"good ratio {long['good_ratio']:.3f} at "
+                      f"threshold {objective['threshold']:g}")
+        lines.append(f"  {objective['name']:<28} {objective['kind']:<18} "
+                     f"{objective['status']:<9} {short['burn_rate']:>10.2f} "
+                     f"{long['burn_rate']:>10.2f}  {detail}")
+    return "\n".join(lines)

@@ -337,13 +337,21 @@ class ShardRouter:
 
 @dataclass
 class _WorkerState:
-    """Everything a worker needs, installed as a module global pre-fork."""
+    """Everything a worker needs, installed as a module global pre-fork.
+
+    ``capture_telemetry`` mirrors ``obs.enabled()`` in the driver at run
+    start: when set, each worker runs its phase under a fresh telemetry
+    scope and ships the result back as a :class:`~repro.obs.TelemetryPayload`
+    (see :mod:`repro.obs.merge`) — a forked child's registry/collector would
+    otherwise die with the process.
+    """
 
     records: List[Record]
     record_ids: List[str]
     sources: List[str]
     predictor: BatchedPredictor
     config: PipelineConfig
+    capture_telemetry: bool = False
 
 
 _WORKER_STATE: Optional[_WorkerState] = None
@@ -383,6 +391,30 @@ def _sketch_slice(bounds: Tuple[int, int]) -> List[List[List[Hashable]]]:
 
 
 def _score_shard(payload: Tuple[int, List[BucketTask]]) -> Dict[str, object]:
+    """Phase B entry: run one shard, optionally under a fresh telemetry scope.
+
+    While the driver had telemetry enabled at run start, the worker installs
+    its own registry + collector (on a detached span stack, so the in-process
+    path's open driver spans cannot swallow the worker tree), runs the phase
+    under a ``sharded.worker`` root span, and attaches the resulting
+    picklable payload to the result under ``"telemetry"``.  The driver
+    re-roots those spans under its ``sharded.score`` span and folds the
+    metrics in — one observation site per shard per phase, whichever process
+    ran it.
+    """
+    if not _WORKER_STATE.capture_telemetry:
+        return _score_shard_impl(payload)
+    shard_id = payload[0]
+    with obs.detached_stack(), obs.telemetry() as session:
+        with obs.trace("sharded.worker", shard=shard_id):
+            result = _score_shard_impl(payload)
+    result["telemetry"] = obs.capture_payload(session.registry,
+                                              session.collector,
+                                              shard=shard_id)
+    return result
+
+
+def _score_shard_impl(payload: Tuple[int, List[BucketTask]]) -> Dict[str, object]:
     """Phase B: emit, dedupe, canonically order and score one shard's pairs.
 
     Enumeration within a bucket follows member insertion order (positions
@@ -400,43 +432,55 @@ def _score_shard(payload: Tuple[int, List[BucketTask]]) -> Dict[str, object]:
     cross_source_only = state.config.cross_source_only
 
     emit_start = time.perf_counter()
-    position_pairs: Set[Tuple[int, int]] = set()
-    for _, members, slice_index, num_slices in tasks:
-        ordinal = 0
-        for left, right in combinations(members, 2):
-            selected = num_slices == 1 or ordinal % num_slices == slice_index
-            ordinal += 1
-            if not selected:
-                continue
-            if cross_source_only and sources[left] == sources[right]:
-                continue
-            position_pairs.add((left, right))
+    with obs.trace("emit", shard=shard_id):
+        position_pairs: Set[Tuple[int, int]] = set()
+        for _, members, slice_index, num_slices in tasks:
+            ordinal = 0
+            for left, right in combinations(members, 2):
+                selected = num_slices == 1 or ordinal % num_slices == slice_index
+                ordinal += 1
+                if not selected:
+                    continue
+                if cross_source_only and sources[left] == sources[right]:
+                    continue
+                position_pairs.add((left, right))
 
-    record_ids = state.record_ids
-    keyed: List[Tuple[Tuple[str, str], int, int]] = []
-    for left, right in position_pairs:
-        key = (record_ids[left], record_ids[right])
-        if key[0] > key[1]:
-            key = (key[1], key[0])
-            left, right = right, left
-        keyed.append((key, left, right))
-    keyed.sort(key=lambda item: item[0])
-    records = state.records
-    pairs = [EntityPair(left=records[left], right=records[right], label=None)
-             for _, left, right in keyed]
+        record_ids = state.record_ids
+        keyed: List[Tuple[Tuple[str, str], int, int]] = []
+        for left, right in position_pairs:
+            key = (record_ids[left], record_ids[right])
+            if key[0] > key[1]:
+                key = (key[1], key[0])
+                left, right = right, left
+            keyed.append((key, left, right))
+        keyed.sort(key=lambda item: item[0])
+        records = state.records
+        pairs = [EntityPair(left=records[left], right=records[right], label=None)
+                 for _, left, right in keyed]
     emit_seconds = time.perf_counter() - emit_start
 
     score_start = time.perf_counter()
-    scoring = ScoringStage(state.predictor,
-                           chunk_size=state.config.scoring_chunk_size)
-    scored = scoring.run(pairs)
+    with obs.trace("score", shard=shard_id, pairs=len(pairs)):
+        scoring = ScoringStage(state.predictor,
+                               chunk_size=state.config.scoring_chunk_size)
+        scored = scoring.run(pairs)
+    score_seconds = time.perf_counter() - score_start
+
+    # The one observation site for per-shard phase timings: in the worker,
+    # inside its telemetry scope, so each shard's emit/score seconds land in
+    # the histogram exactly once regardless of where the shard ran.
+    help_text = "Wall-clock per shard per phase"
+    obs.histogram("pipeline_sharded_shard_seconds", help_text,
+                  {"phase": "emit"}).observe(emit_seconds)
+    obs.histogram("pipeline_sharded_shard_seconds", help_text,
+                  {"phase": "score"}).observe(score_seconds)
     return {
         "shard": shard_id,
         "positions": [(left, right) for _, left, right in keyed],
         "scores": scored.scores,
         "stats": scored.stats,
         "emit_seconds": emit_seconds,
-        "score_seconds": time.perf_counter() - score_start,
+        "score_seconds": score_seconds,
     }
 
 
@@ -491,7 +535,21 @@ class ShardedPipeline:
         return "fork" in multiprocessing.get_all_start_methods()
 
     def run(self, records: Iterable[Record]) -> ShardedPipelineResult:
-        """Run ingest → sketch → route → emit/score → merge → cluster."""
+        """Run ingest → sketch → route → emit/score → merge → cluster.
+
+        With telemetry enabled the whole run is one ``sharded.run`` span
+        tree: driver stages as children, and each worker's shipped
+        ``sharded.worker`` tree re-rooted under ``sharded.score`` (see
+        :mod:`repro.obs.merge`), so the export shows one coherent story
+        instead of per-process fragments.
+        """
+        with obs.trace("sharded.run", workers=self.shards.workers,
+                       shards=self.shards.resolved_shards) as run_span:
+            result = self._run(records)
+            run_span.set("records", len(result.records))
+        return result
+
+    def _run(self, records: Iterable[Record]) -> ShardedPipelineResult:
         global _WORKER_STATE, _WORKER_INDEXES
         config = self.config
         shard_config = self.shards
@@ -510,6 +568,7 @@ class ShardedPipeline:
             sources=[record.source for record in record_list],
             predictor=self.predictor,
             config=config,
+            capture_telemetry=obs.enabled(),
         )
         _WORKER_STATE, _WORKER_INDEXES = state, None
         pool: Optional[ProcessPoolExecutor] = None
@@ -564,11 +623,20 @@ class ShardedPipeline:
             start = time.perf_counter()
             payloads = [(shard_id, tasks)
                         for shard_id, tasks in enumerate(plan.tasks) if tasks]
-            with obs.trace("sharded.score", shards=len(payloads)):
+            with obs.trace("sharded.score", shards=len(payloads)) as score_span:
                 if pool is not None:
                     shard_results = list(pool.map(_score_shard, payloads))
                 else:
                     shard_results = [_score_shard(payload) for payload in payloads]
+                # Fold each worker's shipped telemetry into the live session:
+                # metrics merge under the snapshot algebra, span trees re-root
+                # under this score span tagged with their shard id.
+                for shard_result in sorted(shard_results,
+                                           key=lambda r: r["shard"]):
+                    worker_telemetry = shard_result.pop("telemetry", None)
+                    if worker_telemetry is not None:
+                        obs.merge_payload(worker_telemetry, parent=score_span,
+                                          shard=shard_result["shard"])
             phase_b_seconds = time.perf_counter() - start
         finally:
             if pool is not None:
@@ -710,11 +778,6 @@ class ShardedPipeline:
             obs.gauge("pipeline_sharded_load_pairs",
                       "Estimated candidate-pair load per shard",
                       {"shard": str(shard_id)}).set(load)
-        for shard_id, elapsed in enumerate(report.shard_score_seconds):
-            obs.histogram("pipeline_sharded_shard_seconds",
-                          "Wall-clock per shard per phase",
-                          {"phase": "score"}).observe(elapsed)
-        for shard_id, elapsed in enumerate(report.shard_emit_seconds):
-            obs.histogram("pipeline_sharded_shard_seconds",
-                          "Wall-clock per shard per phase",
-                          {"phase": "emit"}).observe(elapsed)
+        # pipeline_sharded_shard_seconds is observed in the workers (one
+        # observation per shard per phase, merged back into this registry);
+        # re-observing the report's per-shard timings here would double-count.

@@ -34,6 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--demo", action="store_true",
                         help="stream a synthetic corpus through the online store "
                              "and verify parity with the batch pipeline")
+    parser.add_argument("--health", action="store_true",
+                        help="replay a load against the service and print the "
+                             "SLO health report (burn rates per objective); "
+                             "exit code 1 when any objective is breached")
     corpus = parser.add_argument_group("corpus")
     corpus.add_argument("--dataset", choices=DATASETS, default="music3k",
                         help="synthetic corpus to serve (default: music3k)")
@@ -155,18 +159,58 @@ def run_demo(args: argparse.Namespace) -> int:
         return 1
 
 
+def run_health(args: argparse.Namespace) -> int:
+    """Replay a load through a fresh service, then print the SLO report.
+
+    The replay is the same shuffled-corpus upsert + concurrent-query flow
+    the demo uses, so the burn rates describe the service under realistic
+    coalesced load rather than an idle process.  Exit code 1 only on a
+    *breached* objective — ``burning`` is an alert, not a failure.
+    """
+    from ..obs.slo import format_health
+
+    predictor = _predictor(args)
+    from ..bench.runner import select_scale
+
+    _, scale = select_scale(args.scale)
+    corpus = build_corpus(args.dataset, entity_type=args.entity_type,
+                          scale=scale, seed=args.seed)
+    records = list(corpus.records)
+    np.random.default_rng(args.seed).shuffle(records)
+
+    service_config = ServiceConfig(max_batch_size=args.max_batch_size,
+                                   max_wait_ms=args.max_wait_ms,
+                                   top_k=args.top_k)
+    with LinkageService(predictor, store_config=StoreConfig(score_threshold=args.threshold),
+                        service_config=service_config) as service:
+        print(f"replaying {len(records)} upserts and {len(records)} queries "
+              f"({args.workers} workers) against the service ...", flush=True)
+        replay_upserts(service, records)
+        replay_queries(service, records, num_workers=args.workers,
+                       top_k=args.top_k)
+        report = service.health()
+    print()
+    print(format_health(report, uptime=float(report["uptime_seconds"])))
+    return 1 if report["status"] == "breached" else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    if not args.demo:
-        build_parser().print_help()
-        print("\nhint: run the demo with  python -m repro.serve --demo")
+    if args.demo and args.health:
+        print("error: --demo and --health are mutually exclusive", file=sys.stderr)
         return 2
+    if not args.demo and not args.health:
+        build_parser().print_help()
+        print("\nhint: run the demo with  python -m repro.serve --demo, or "
+              "the SLO report with  python -m repro.serve --health")
+        return 2
+    runner = run_health if args.health else run_demo
     if args.export is None:
-        return run_demo(args)
+        return runner(args)
     from .. import obs
 
     with obs.telemetry():
-        status = run_demo(args)
+        status = runner(args)
         path = obs.write_export(args.export)
     print(f"\nwrote telemetry export to {path} "
           f"(view: python -m repro.obs --from-export {path})")

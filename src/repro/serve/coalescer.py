@@ -138,10 +138,17 @@ class RequestCoalescer:
         Deadline flush: the longest a queued request may wait for co-riders.
     max_queue_size:
         Backpressure bound on queued pairs; ``submit`` blocks for room.
+    queue_sample_fn:
+        Optional callback receiving the queue saturation (queued pairs over
+        ``max_queue_size``, in ``[0, 1]``) after every accepted submit —
+        invoked outside the lock.  The serving layer feeds its
+        queue-saturation SLO through this, keeping the coalescer free of any
+        SLO dependency.
     """
 
     def __init__(self, score_fn: ScoreFn, max_batch_size: int = 64,
-                 max_wait_ms: float = 5.0, max_queue_size: int = 4096) -> None:
+                 max_wait_ms: float = 5.0, max_queue_size: int = 4096,
+                 queue_sample_fn: Optional[Callable[[float], None]] = None) -> None:
         if max_batch_size <= 0:
             raise ValueError(f"max_batch_size must be positive, got {max_batch_size}")
         if max_wait_ms < 0:
@@ -167,6 +174,7 @@ class RequestCoalescer:
         self.deadline_flushes = 0
         self.rejected = 0
         self._batch_sizes_sum = 0
+        self.queue_sample_fn = queue_sample_fn
         self._obs = BoundHandles(_bind_coalescer_instruments)
 
     # ------------------------------------------------------------------ #
@@ -270,6 +278,8 @@ class RequestCoalescer:
             instruments.requests.inc()
             instruments.queue_depth.set(queued_pairs)
             instruments.high_watermark.set_max(queued_pairs)
+        if self.queue_sample_fn is not None:
+            self.queue_sample_fn(queued_pairs / self.max_queue_size)
         return pending
 
     def score(self, pairs: Union[EntityPair, Sequence[EntityPair]],

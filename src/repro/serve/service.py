@@ -21,11 +21,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from .. import obs
 from ..data.records import Record
 from ..infer.predictor import BatchedPredictor
+from ..obs.slo import SLOConfig, SLOMonitor, default_service_objectives
 from .coalescer import RequestCoalescer
 from .store import EntityStore, QueryMatch, StoreConfig
 
@@ -87,21 +88,30 @@ class LinkageService:
         An existing store to serve (e.g. restored from a snapshot); its
         scoring is re-bound to this service's coalescer.  Default: a fresh
         store built from ``store_config``.
+    slo_objectives:
+        The SLO catalog :meth:`health` evaluates (see
+        :func:`repro.obs.slo.default_service_objectives` for the defaults).
+        Recording is always on — a few deque appends per request — so health
+        reports work without enabling full telemetry.
     """
 
     def __init__(self, predictor: BatchedPredictor,
                  store_config: Optional[StoreConfig] = None,
                  service_config: Optional[ServiceConfig] = None,
-                 store: Optional[EntityStore] = None) -> None:
+                 store: Optional[EntityStore] = None,
+                 slo_objectives: Optional[Sequence[SLOConfig]] = None) -> None:
         if store is not None and store_config is not None:
             raise ValueError("pass either an existing store or a store_config, not both")
         self.predictor = predictor
         self.config = service_config or ServiceConfig()
+        self.slo = SLOMonitor(default_service_objectives()
+                              if slo_objectives is None else slo_objectives)
         self.coalescer = RequestCoalescer(
             predictor.predict_proba,
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
             max_queue_size=self.config.max_queue_size,
+            queue_sample_fn=self._record_queue_saturation,
         )
         self.store = store if store is not None else EntityStore(config=store_config)
         self.store.bind_score_fn(self._score, upsert_score_fn=self._score_upsert)
@@ -117,6 +127,20 @@ class LinkageService:
         # still fused with any queries already queued.
         return self.coalescer.score(pairs, timeout=self.config.request_timeout,
                                     max_wait=0.0)
+
+    # ------------------------------------------------------------------ #
+    # SLO recording (always on; a custom catalog may drop objectives, so
+    # every recording site checks membership first)
+    # ------------------------------------------------------------------ #
+    def _record_queue_saturation(self, saturation: float) -> None:
+        if "coalescer_queue_saturation" in self.slo:
+            self.slo.record("coalescer_queue_saturation", saturation)
+
+    def _record_request(self, objective: str, seconds: float, ok: bool) -> None:
+        if ok and objective in self.slo:
+            self.slo.record(objective, seconds)
+        if "serve_error_rate" in self.slo:
+            self.slo.record("serve_error_rate", 0.0 if ok else 1.0, good=ok)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -141,26 +165,52 @@ class LinkageService:
     def upsert(self, record: Record) -> UpsertResult:
         """Link one record online; returns its entity id and latency."""
         start = time.perf_counter()
-        with obs.trace("serve.upsert", record_id=record.record_id) as span:
-            entity_id = self.store.upsert(record)
-            span.set("entity_id", entity_id)
+        try:
+            with obs.trace("serve.upsert", record_id=record.record_id) as span:
+                entity_id = self.store.upsert(record)
+                span.set("entity_id", entity_id)
+        except BaseException:
+            self._record_request("serve_upsert_latency",
+                                 time.perf_counter() - start, ok=False)
+            raise
+        seconds = time.perf_counter() - start
+        self._record_request("serve_upsert_latency", seconds, ok=True)
         return UpsertResult(record_id=record.record_id, entity_id=entity_id,
-                            seconds=time.perf_counter() - start)
+                            seconds=seconds)
 
     def query(self, record: Record, top_k: Optional[int] = None) -> QueryResult:
         """Rank stored entities for a probe record; returns matches + latency."""
         start = time.perf_counter()
-        with obs.trace("serve.query", record_id=record.record_id) as span:
-            matches = self.store.query(
-                record, top_k=self.config.top_k if top_k is None else top_k)
-            span.set("matches", len(matches))
-        return QueryResult(matches=matches, seconds=time.perf_counter() - start)
+        try:
+            with obs.trace("serve.query", record_id=record.record_id) as span:
+                matches = self.store.query(
+                    record, top_k=self.config.top_k if top_k is None else top_k)
+                span.set("matches", len(matches))
+        except BaseException:
+            self._record_request("serve_query_latency",
+                                 time.perf_counter() - start, ok=False)
+            raise
+        seconds = time.perf_counter() - start
+        self._record_request("serve_query_latency", seconds, ok=True)
+        return QueryResult(matches=matches, seconds=seconds)
 
     def snapshot(self, path: Union[str, Path]) -> Path:
         """Persist the store (see :meth:`EntityStore.snapshot`)."""
         return self.store.snapshot(path)
 
     # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, object]:
+        """Evaluate every SLO; ``status`` is the worst objective's verdict.
+
+        See :meth:`repro.obs.slo.SLOMonitor.health` for the shape — this
+        adds the service's uptime, so the report is self-contained for
+        ``python -m repro.serve --health``.
+        """
+        report = self.slo.health()
+        report["uptime_seconds"] = (time.monotonic() - self._started_at
+                                    if self._started_at is not None else 0.0)
+        return report
+
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Nested store / coalescer / predictor counters."""
         uptime = (time.monotonic() - self._started_at

@@ -53,6 +53,9 @@ class TestStageRegistry:
     def test_obs_overhead_stage_registered(self):
         assert "obs_overhead" in {name for name, _ in list_stages()}
 
+    def test_obs_distributed_stage_registered(self):
+        assert "obs_distributed" in {name for name, _ in list_stages()}
+
 
 class TestLatencyPercentiles:
     def test_samples_fold_into_millisecond_percentiles(self):
@@ -208,6 +211,63 @@ class TestPerfGate:
         current["stages"]["encoder"] = {"seconds": 4.0, "reference_seconds": 4.0}
         problems = find_regressions(current, baseline)
         assert [name for name, _ in problems] == ["obs_overhead"]
+
+    @staticmethod
+    def distributed_payload(merge_ratio=1.05, coverage=1.0, span_parity=1.0,
+                            once_parity=1.0, fork_parity=1.0, seconds=1.5):
+        return {"scale": "smoke",
+                "stages": {"obs_distributed": {
+                    "seconds": seconds,
+                    "merge_overhead_ratio": merge_ratio,
+                    "worker_span_coverage": coverage,
+                    "worker_span_parity": span_parity,
+                    "shard_seconds_once_parity": once_parity,
+                    "worker_span_fork_parity": fork_parity}}}
+
+    def test_obs_distributed_clean_run_passes(self):
+        baseline = self.distributed_payload()
+        current = self.distributed_payload(merge_ratio=1.12, coverage=0.95)
+        assert check_regressions(current, baseline) == []
+
+    def test_obs_distributed_merge_ratio_has_its_own_wider_ceiling(self):
+        """1.06 < ratio <= 1.20 passes here (the smoke workload is tens of
+        milliseconds; the generic 5% budget would flake), above 1.20 fails
+        and is retryable."""
+        baseline = self.distributed_payload()
+        assert find_regressions(self.distributed_payload(merge_ratio=1.19),
+                                baseline) == []
+        problems = find_regressions(self.distributed_payload(merge_ratio=1.3),
+                                    baseline)
+        assert [name for name, _ in problems] == ["obs_distributed"]
+        assert "1.20x" in problems[0][1]
+
+    @pytest.mark.parametrize("coverage", [0.5, 0.89, 1.11, 2.0])
+    def test_obs_distributed_coverage_outside_band_fails(self, coverage):
+        problems = find_regressions(self.distributed_payload(coverage=coverage),
+                                    self.distributed_payload())
+        assert [name for name, _ in problems] == ["obs_distributed"]
+        assert "coverage" in problems[0][1]
+
+    @pytest.mark.parametrize("flag", ["worker_span_parity",
+                                      "shard_seconds_once_parity",
+                                      "worker_span_fork_parity"])
+    def test_obs_distributed_parity_flags_are_exact(self, flag):
+        current = self.distributed_payload(**{
+            {"worker_span_parity": "span_parity",
+             "shard_seconds_once_parity": "once_parity",
+             "worker_span_fork_parity": "fork_parity"}[flag]: 0.0})
+        problems = find_regressions(current, self.distributed_payload())
+        assert len(problems) == 1
+        assert problems[0][0] is None  # deterministic: not retryable
+        assert flag in problems[0][1]
+
+    def test_obs_distributed_missing_keys_reported(self):
+        current = {"scale": "smoke",
+                   "stages": {"obs_distributed": {"seconds": 1.5}}}
+        problems = find_regressions(current, self.distributed_payload())
+        messages = " ".join(problem for _, problem in problems)
+        assert "worker_span_coverage" in messages
+        assert "merge_overhead_ratio" in messages
 
 
 class TestCli:

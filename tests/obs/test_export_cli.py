@@ -9,7 +9,8 @@ import pytest
 from repro import obs
 from repro.obs.__main__ import main as obs_main
 from repro.obs.dashboard import render_dashboard, render_metrics, render_trace_tree
-from repro.obs.export import ExportError, load_export, write_export
+from repro.obs.export import (EXPORT_SCHEMA_VERSION, SUPPORTED_EXPORT_SCHEMAS,
+                              ExportError, load_export, write_export)
 
 
 def _record_session(path):
@@ -70,6 +71,48 @@ class TestExportRoundTrip:
         path.write_text("")
         with pytest.raises(ExportError, match="empty export"):
             load_export(path)
+
+
+class TestExportSchemaVersion:
+    def test_meta_line_carries_current_schema(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        meta = json.loads(path.read_text().splitlines()[0])
+        assert meta["schema"] == EXPORT_SCHEMA_VERSION == 2
+        assert load_export(path)["meta"]["schema"] == 2
+
+    def test_version_1_files_without_the_field_still_load(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        del meta["schema"]  # what a pre-versioning writer produced
+        path.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+        export = load_export(path)
+        assert "schema" not in export["meta"]
+        assert export["metrics"]  # payload still read
+
+    @pytest.mark.parametrize("schema", [99, "2", 2.5])
+    def test_unknown_or_malformed_schema_rejected(self, tmp_path, schema):
+        path = _record_session(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["schema"] = schema
+        path.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+        with pytest.raises(ExportError, match="not supported"):
+            load_export(path)
+
+    def test_rejection_names_versions_and_line(self, tmp_path):
+        path = _record_session(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta["schema"] = 99
+        path.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+        with pytest.raises(ExportError) as excinfo:
+            load_export(path)
+        message = str(excinfo.value)
+        assert "run.jsonl:1" in message
+        assert "99" in message
+        for supported in SUPPORTED_EXPORT_SCHEMAS:
+            assert str(supported) in message
 
 
 class TestDashboard:

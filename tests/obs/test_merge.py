@@ -1,0 +1,293 @@
+"""Merge algebra for worker telemetry: payloads, metric folding, re-rooting.
+
+The property tests use hand-rolled deterministic generators (no hypothesis
+in the toolchain) over dyadic-rational values (integers over 4), so float
+sums are exact and "N merged payloads == one shared registry" can be
+asserted with ``==`` rather than approximately.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs.merge import (TelemetryPayload, capture_payload,
+                             merge_metric_entries, merge_payload)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NOOP_SPAN, Span, TraceCollector
+
+BOUNDS = [0.25, 1.0, 4.0]
+
+
+def _record(registry, events):
+    """Apply (kind, labels, value) events to a registry."""
+    for kind, labels, value in events:
+        if kind == "counter":
+            registry.counter("cache_hits_total", "hits", labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge("coalescer_queue_depth_pairs", "depth",
+                           labels).set(value)
+        else:
+            registry.histogram("store_upsert_seconds", "latency", labels,
+                               buckets=BOUNDS).observe(value)
+
+
+def _canonical(registry):
+    """Snapshot keyed by (name, labels) for order-independent comparison.
+
+    A gauge's current *value* is last-write-wins in a shared registry but
+    max-of-values under merge — only the high watermark is order-free, so
+    gauges are compared by watermark alone.
+    """
+    canonical = {}
+    for e in registry.snapshot():
+        entry = {k: v for k, v in e.items() if k != "help"}
+        if e["kind"] == "gauge":
+            entry.pop("value")
+        canonical[(e["name"], tuple(sorted(e["labels"].items())))] = entry
+    return canonical
+
+
+def _random_events(rng, n):
+    kinds = ("counter", "gauge", "histogram")
+    label_sets = ((), (("worker", "a"),), (("worker", "b"),))
+    return [(rng.choice(kinds), dict(rng.choice(label_sets)),
+             rng.randrange(0, 64) / 4.0) for _ in range(n)]
+
+
+class TestMergeMetricEntries:
+    def test_counters_sum(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("cache_hits_total", "hits").inc(3)
+        right.counter("cache_hits_total", "hits").inc(4)
+        merge_metric_entries(left, right.snapshot())
+        assert left.counter("cache_hits_total", "hits").value == 7.0
+
+    def test_gauges_keep_watermark_max_not_sum(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        gauge = left.gauge("coalescer_queue_depth_pairs", "depth")
+        gauge.set(10)
+        gauge.set(2)  # current value 2, watermark 10
+        other = right.gauge("coalescer_queue_depth_pairs", "depth")
+        other.set(5)  # current value 5, watermark 5
+        merge_metric_entries(left, right.snapshot())
+        snap = gauge.snapshot()
+        assert snap["value"] == 5.0  # max of values, not 7
+        assert snap["max"] == 10.0  # max of watermarks, untouched by value 5
+
+    def test_gauge_merge_does_not_raise_value_to_peak(self):
+        """The other side's *watermark* must not become this side's value."""
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("coalescer_queue_depth_pairs", "depth").set(1)
+        other = right.gauge("coalescer_queue_depth_pairs", "depth")
+        other.set(50)
+        other.set(2)  # value 2, watermark 50
+        merge_metric_entries(left, right.snapshot())
+        snap = left.gauge("coalescer_queue_depth_pairs", "depth").snapshot()
+        assert snap["value"] == 2.0
+        assert snap["max"] == 50.0
+
+    def test_histograms_add_bucket_wise_with_extrema(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        mine = left.histogram("store_upsert_seconds", "latency", buckets=BOUNDS)
+        theirs = right.histogram("store_upsert_seconds", "latency", buckets=BOUNDS)
+        for value in (0.25, 2.0):
+            mine.observe(value)
+        for value in (0.5, 8.0):
+            theirs.observe(value)
+        merge_metric_entries(left, right.snapshot())
+        snap = mine.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 10.75
+        assert snap["min"] == 0.25
+        assert snap["max"] == 8.0
+        assert sum(count for _, count in snap["buckets"]) == 4
+
+    def test_empty_histogram_merge_leaves_extrema_alone(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        mine = left.histogram("store_upsert_seconds", "latency", buckets=BOUNDS)
+        mine.observe(0.5)
+        right.histogram("store_upsert_seconds", "latency", buckets=BOUNDS)
+        merge_metric_entries(left, right.snapshot())
+        snap = mine.snapshot()
+        assert snap["count"] == 1
+        # An empty snapshot reports min/max 0.0; merging it must not
+        # pollute the real extrema.
+        assert snap["min"] == 0.5
+
+    def test_mismatched_histogram_bounds_raise(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.histogram("store_upsert_seconds", "latency", buckets=BOUNDS)
+        right.histogram("store_upsert_seconds", "latency", buckets=[0.5, 2.0])
+        with pytest.raises(ValueError):
+            merge_metric_entries(left, right.snapshot())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            merge_metric_entries(MetricsRegistry(),
+                                 [{"name": "cache_hits_total",
+                                   "kind": "summary", "labels": {}}])
+
+    def test_disjoint_label_sets_union(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("cache_hits_total", "hits", {"worker": "a"}).inc(1)
+        right.counter("cache_hits_total", "hits", {"worker": "b"}).inc(2)
+        merge_metric_entries(left, right.snapshot())
+        assert len([e for e in left.snapshot()
+                    if e["name"] == "cache_hits_total"]) == 2
+
+
+class TestMergeAlgebraProperties:
+    """Hand-rolled property tests: exact equality over dyadic values."""
+
+    def test_n_way_merge_equals_one_shared_registry(self):
+        rng = random.Random(7)
+        for trial in range(10):
+            worker_events = [_random_events(rng, rng.randrange(1, 12))
+                             for _ in range(4)]
+            shared = MetricsRegistry()
+            for events in worker_events:
+                _record(shared, events)
+            merged = MetricsRegistry()
+            for events in worker_events:
+                worker = MetricsRegistry()
+                _record(worker, events)
+                merge_metric_entries(merged, worker.snapshot())
+            assert _canonical(merged) == _canonical(shared), f"trial {trial}"
+
+    def test_merge_is_commutative_and_associative(self):
+        rng = random.Random(13)
+        worker_events = [_random_events(rng, 8) for _ in range(3)]
+        snapshots = []
+        for events in worker_events:
+            worker = MetricsRegistry()
+            _record(worker, events)
+            snapshots.append(worker.snapshot())
+        reference = None
+        for order in itertools.permutations(range(3)):
+            merged = MetricsRegistry()
+            for index in order:
+                merge_metric_entries(merged, snapshots[index])
+            canonical = _canonical(merged)
+            if reference is None:
+                reference = canonical
+            assert canonical == reference, f"order {order}"
+
+    def test_merge_is_idempotent_source(self):
+        """Merging a snapshot never mutates the snapshot itself."""
+        worker = MetricsRegistry()
+        worker.counter("cache_hits_total", "hits").inc(3)
+        snapshot = worker.snapshot()
+        frozen = [dict(entry) for entry in snapshot]
+        merge_metric_entries(MetricsRegistry(), snapshot)
+        merge_metric_entries(MetricsRegistry(), snapshot)
+        assert snapshot == frozen
+
+
+class TestSpanRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        with obs.telemetry() as session:
+            with obs.trace("sharded.worker", shard=2):
+                with obs.trace("emit", shard=2):
+                    pass
+                with obs.trace("score", shard=2, pairs=9):
+                    pass
+        (root,) = session.collector.roots()
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+        assert [child.name for child in rebuilt.children] == ["emit", "score"]
+        assert rebuilt.children[1].attributes == {"shard": 2, "pairs": 9}
+
+
+class TestPayload:
+    def test_capture_and_pickle_round_trip(self):
+        with obs.telemetry() as session:
+            obs.counter("cache_hits_total", "hits").inc(5)
+            with obs.trace("sharded.worker", shard=0):
+                pass
+            payload = capture_payload(session.registry, session.collector,
+                                      shard=0)
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone.context == {"shard": 0}
+        assert clone.spans == payload.spans
+        assert {e["name"] for e in clone.metrics} == {"cache_hits_total"}
+
+    def test_capture_defaults_to_active_session(self):
+        with obs.telemetry():
+            obs.counter("cache_hits_total", "hits").inc(1)
+            payload = capture_payload()
+        assert {e["name"] for e in payload.metrics} == {"cache_hits_total"}
+
+    def test_capture_while_disabled_is_empty(self):
+        payload = capture_payload()
+        assert payload.metrics == [] and payload.spans == []
+
+
+class TestMergePayload:
+    @staticmethod
+    def worker_payload(shard):
+        with obs.telemetry() as session:
+            obs.counter("cache_hits_total", "hits").inc(1)
+            with obs.trace("sharded.worker"):
+                with obs.trace("score"):
+                    pass
+        return capture_payload(session.registry, session.collector,
+                               shard=shard)
+
+    def test_reroots_under_parent_with_labels(self):
+        payloads = [self.worker_payload(shard) for shard in range(3)]
+        with obs.telemetry() as session:
+            with obs.trace("sharded.score") as parent:
+                for shard, payload in enumerate(payloads):
+                    adopted = merge_payload(payload, parent=parent,
+                                            shard=shard)
+                    assert [span.name for span in adopted] == ["sharded.worker"]
+        (root,) = session.collector.roots()
+        workers = [span for span in root.children
+                   if span.name == "sharded.worker"]
+        assert [span.attributes["shard"] for span in workers] == [0, 1, 2]
+        assert [child.name for child in workers[0].children] == ["score"]
+        assert session.registry.counter("cache_hits_total", "hits").value == 3.0
+
+    def test_without_parent_spans_become_collector_roots(self):
+        payload = self.worker_payload(0)
+        registry, collector = MetricsRegistry(), TraceCollector()
+        merge_payload(payload, registry=registry, collector=collector)
+        assert [span.name for span in collector.roots()] == ["sharded.worker"]
+
+    def test_noop_parent_falls_back_to_collector(self):
+        """Adopting under the shared NOOP_SPAN would corrupt its class-level
+        children list; the merge must treat it as 'no parent'."""
+        payload = self.worker_payload(0)
+        collector = TraceCollector()
+        merge_payload(payload, registry=MetricsRegistry(),
+                      collector=collector, parent=NOOP_SPAN)
+        assert not NOOP_SPAN.children
+        assert [span.name for span in collector.roots()] == ["sharded.worker"]
+
+    def test_empty_payload_is_a_no_op(self):
+        registry, collector = MetricsRegistry(), TraceCollector()
+        assert merge_payload(TelemetryPayload(), registry=registry,
+                             collector=collector) == []
+        assert registry.snapshot() == [] and collector.roots() == []
+
+
+class TestDetachedStack:
+    def test_worker_scope_does_not_nest_under_open_driver_span(self):
+        """An in-process worker must build its own root even while the
+        driver's span is open on this thread (the forked case gets this for
+        free; detached_stack makes both modes uniform)."""
+        with obs.telemetry() as driver:
+            with obs.trace("sharded.score"):
+                with obs.detached_stack(), obs.telemetry() as worker:
+                    with obs.trace("sharded.worker"):
+                        pass
+                    assert [s.name for s in worker.collector.roots()] == \
+                        ["sharded.worker"]
+        assert [s.name for s in driver.collector.roots()] == ["sharded.score"]
+        (driver_root,) = driver.collector.roots()
+        assert driver_root.children == []

@@ -1,0 +1,217 @@
+"""SLO engine: burn-rate windows, status folding, catalog, report rendering.
+
+Every test drives an injected fake clock, so window pruning and the
+short-vs-long burn distinction are deterministic — no sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (SLO, SLOConfig, SLOMonitor,
+                           default_service_objectives, format_health)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def latency_slo(clock, target=0.9, threshold=0.1, windows=(60.0, 600.0),
+                burn_threshold=2.0):
+    return SLO(SLOConfig("serve_query_latency", "latency_quantile",
+                         target=target, threshold=threshold, windows=windows,
+                         burn_threshold=burn_threshold), clock=clock)
+
+
+class TestConfigValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLOConfig("x", "availability")
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 2.0])
+    def test_target_must_be_a_proper_fraction(self, target):
+        with pytest.raises(ValueError, match="target"):
+            SLOConfig("x", "error_rate", target=target)
+
+    @pytest.mark.parametrize("windows", [(600.0, 60.0), (0.0, 60.0),
+                                         (60.0, 60.0)])
+    def test_windows_must_be_short_then_long(self, windows):
+        with pytest.raises(ValueError, match="windows"):
+            SLOConfig("x", "error_rate", windows=windows)
+
+    def test_burn_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="burn_threshold"):
+            SLOConfig("x", "error_rate", burn_threshold=0.0)
+
+
+class TestSLOEvaluation:
+    def test_no_data(self):
+        report = latency_slo(FakeClock()).evaluate()
+        assert report["status"] == "no_data"
+        for window in report["windows"].values():
+            assert window["total"] == 0.0
+            assert window["burn_rate"] == 0.0
+
+    def test_all_good_passes_with_zero_burn(self):
+        clock = FakeClock()
+        slo = latency_slo(clock)
+        for _ in range(20):
+            slo.record(0.05)
+            clock.tick(1.0)
+        report = slo.evaluate()
+        assert report["status"] == "pass"
+        assert all(w["burn_rate"] == 0.0 for w in report["windows"].values())
+
+    def test_burn_rate_is_bad_ratio_over_budget(self):
+        clock = FakeClock()
+        slo = latency_slo(clock, target=0.9)  # budget = 0.1
+        for index in range(10):
+            slo.record(0.05 if index < 8 else 0.5)  # 20% bad
+            clock.tick(1.0)
+        report = slo.evaluate()
+        short = report["windows"]["60s"]
+        assert short["good_ratio"] == pytest.approx(0.8)
+        assert short["burn_rate"] == pytest.approx(2.0)
+
+    def test_sustained_burn_on_both_windows_is_breached(self):
+        clock = FakeClock()
+        slo = latency_slo(clock, target=0.9, burn_threshold=2.0)
+        for _ in range(30):
+            slo.record(0.5)  # every event bad: burn = 10x everywhere
+            clock.tick(1.0)
+        assert slo.evaluate()["status"] == "breached"
+
+    def test_short_window_spike_alone_is_burning(self):
+        clock = FakeClock()
+        slo = latency_slo(clock, target=0.9, windows=(60.0, 600.0))
+        # Five minutes of healthy traffic, then a bad final minute: the
+        # short window burns hot, the long window still has budget.
+        for _ in range(300):
+            slo.record(0.05)
+            clock.tick(1.0)
+        for _ in range(50):
+            slo.record(0.5)
+            clock.tick(1.0)
+        report = slo.evaluate()
+        assert report["status"] == "burning"
+        assert report["windows"]["60s"]["burn_rate"] > 2.0
+        assert report["windows"]["600s"]["burn_rate"] < 2.0
+
+    def test_samples_age_out_of_the_long_window(self):
+        clock = FakeClock()
+        slo = latency_slo(clock)
+        slo.record(0.5)  # bad
+        clock.tick(601.0)
+        slo.record(0.05)  # the prune happens on record
+        report = slo.evaluate()
+        assert report["status"] == "pass"
+        assert report["windows"]["600s"]["total"] == 1.0
+
+    def test_latency_reports_observed_quantile(self):
+        clock = FakeClock()
+        slo = latency_slo(clock, target=0.9, threshold=0.1)
+        for index in range(10):
+            slo.record(index / 100.0)
+            clock.tick(1.0)
+        report = slo.evaluate()
+        observed = report["windows"]["600s"]["observed_quantile"]
+        assert 0.08 <= observed <= 0.09
+
+    def test_error_rate_uses_explicit_good_flag(self):
+        clock = FakeClock()
+        slo = SLO(SLOConfig("serve_error_rate", "error_rate", target=0.9),
+                  clock=clock)
+        for index in range(10):
+            slo.record(1.0 if index == 0 else 0.0, good=index != 0)
+            clock.tick(1.0)
+        report = slo.evaluate()
+        assert report["windows"]["600s"]["good"] == 9.0
+        assert "observed_quantile" not in report["windows"]["600s"]
+
+    def test_queue_saturation_good_below_threshold(self):
+        clock = FakeClock()
+        slo = SLO(SLOConfig("coalescer_queue_saturation", "queue_saturation",
+                            target=0.9, threshold=0.8), clock=clock)
+        slo.record(0.2)
+        slo.record(0.95)
+        report = slo.evaluate()
+        assert report["windows"]["600s"]["good"] == 1.0
+
+
+class TestSLOMonitor:
+    def test_duplicate_names_rejected(self):
+        config = SLOConfig("serve_error_rate", "error_rate")
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor([config, config])
+
+    def test_membership_and_names(self):
+        monitor = SLOMonitor(default_service_objectives())
+        assert "serve_query_latency" in monitor
+        assert "nope" not in monitor
+        assert monitor.names() == ["serve_query_latency",
+                                   "serve_upsert_latency",
+                                   "serve_error_rate",
+                                   "coalescer_queue_saturation"]
+
+    def test_health_is_worst_objective_with_data(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(
+            [SLOConfig("serve_query_latency", "latency_quantile",
+                       target=0.9, threshold=0.1),
+             SLOConfig("serve_error_rate", "error_rate", target=0.9)],
+            clock=clock)
+        for _ in range(20):
+            monitor.record("serve_query_latency", 0.5)  # all bad: breached
+            monitor.record("serve_error_rate", 0.0, good=True)
+            clock.tick(1.0)
+        report = monitor.health()
+        assert report["status"] == "breached"
+        statuses = {o["name"]: o["status"] for o in report["objectives"]}
+        assert statuses == {"serve_query_latency": "breached",
+                            "serve_error_rate": "pass"}
+
+    def test_no_data_objectives_do_not_drag_health_down(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(default_service_objectives(), clock=clock)
+        monitor.record("serve_query_latency", 0.01)
+        assert monitor.health()["status"] == "pass"
+
+    def test_empty_monitor_reports_no_data(self):
+        assert SLOMonitor(default_service_objectives())\
+            .health()["status"] == "no_data"
+
+
+class TestDefaultCatalog:
+    def test_catalog_matches_documented_defaults(self):
+        by_name = {c.name: c for c in default_service_objectives()}
+        assert by_name["serve_query_latency"].threshold == 0.250
+        assert by_name["serve_upsert_latency"].threshold == 0.500
+        assert by_name["serve_error_rate"].target == 0.999
+        assert by_name["coalescer_queue_saturation"].threshold == 0.8
+        assert all(c.windows == (60.0, 600.0) and c.burn_threshold == 2.0
+                   for c in by_name.values())
+
+
+class TestFormatHealth:
+    def test_renders_every_objective_with_status_and_burns(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(default_service_objectives(), clock=clock)
+        for _ in range(5):
+            monitor.record("serve_query_latency", 0.020)
+            monitor.record("serve_error_rate", 0.0, good=True)
+            monitor.record("coalescer_queue_saturation", 0.1)
+            clock.tick(1.0)
+        text = format_health(monitor.health(), uptime=12.5)
+        assert text.startswith("service health: PASS")
+        assert "uptime 12.5s" in text
+        for name in monitor.names():
+            assert name in text
+        assert "p95" in text  # latency detail renders the quantile
+        assert "0 errors / 5 requests" in text

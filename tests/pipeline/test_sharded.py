@@ -238,6 +238,83 @@ class TestShardedTelemetry:
         offenders = [name for name in names if not valid_metric_name(name)]
         assert offenders == []
 
+    @staticmethod
+    def _span_shape(span):
+        """(name, sorted child shapes) — attribute- and timing-free."""
+        return (span.name,
+                tuple(sorted(TestShardedTelemetry._span_shape(child)
+                             for child in span.children)))
+
+    def _run_with_telemetry(self, predictor, records, workers, num_shards=4):
+        import repro.obs as obs
+
+        with obs.telemetry() as session:
+            result = ShardedPipeline(
+                predictor,
+                shards=ShardConfig(workers=workers,
+                                   num_shards=num_shards)).run(list(records))
+        return result, session
+
+    def test_worker_spans_merge_into_one_driver_tree(self, predictor,
+                                                     tiny_music_corpus):
+        result, session = self._run_with_telemetry(
+            predictor, tiny_music_corpus.records, workers=1)
+        (root,) = [span for span in session.collector.roots()
+                   if span.name == "sharded.run"]
+        (score,) = [span for span in root.children
+                    if span.name == "sharded.score"]
+        workers = [span for span in score.children
+                   if span.name == "sharded.worker"]
+        expected = len(result.shard_report.shard_emit_seconds)
+        assert len(workers) == expected > 0
+        assert sorted(span.attributes["shard"] for span in workers) == \
+            sorted(range(expected))
+        for span in workers:
+            phases = [child.name for child in span.children]
+            assert phases == ["emit", "score"]
+        # In-process workers run back to back inside sharded.score, so
+        # their wall time accounts for most of it (soft bound: the driver
+        # also merges payloads inside the span).
+        assert sum(span.seconds for span in workers) >= 0.5 * score.seconds
+
+    def test_shard_seconds_observed_once_per_shard_per_phase(self, predictor,
+                                                             tiny_music_corpus):
+        """Regression: the driver must not re-observe what the workers
+        already shipped — one observation per shard per phase, exactly."""
+        result, session = self._run_with_telemetry(
+            predictor, tiny_music_corpus.records, workers=1)
+        expected = len(result.shard_report.shard_emit_seconds)
+        counts = {entry["labels"]["phase"]: entry["count"]
+                  for entry in session.registry.snapshot()
+                  if entry["name"] == "pipeline_sharded_shard_seconds"}
+        assert counts == {"emit": expected, "score": expected}
+
+    @pytest.mark.skipif(not ShardedPipeline.fork_available(),
+                        reason="fork start method unavailable")
+    def test_forked_run_has_identical_span_structure(self, predictor,
+                                                     tiny_music_corpus):
+        """A 4-worker forked export must be span-identical (same tree shape)
+        to the in-process 1-worker run — worker payloads ship across the
+        pipe instead of the call stack, but the story reads the same."""
+        _, inline = self._run_with_telemetry(
+            predictor, tiny_music_corpus.records, workers=1)
+        _, forked = self._run_with_telemetry(
+            predictor, tiny_music_corpus.records, workers=4)
+        shape = [self._span_shape(span) for span in inline.collector.roots()]
+        assert [self._span_shape(span)
+                for span in forked.collector.roots()] == shape
+
+    @pytest.mark.skipif(not ShardedPipeline.fork_available(),
+                        reason="fork start method unavailable")
+    def test_forked_metrics_match_inline(self, predictor, tiny_music_corpus):
+        result, session = self._run_with_telemetry(
+            predictor, tiny_music_corpus.records, workers=4)
+        expected = len(result.shard_report.shard_emit_seconds)
+        counts = {entry["labels"]["phase"]: entry["count"]
+                  for entry in session.registry.snapshot()
+                  if entry["name"] == "pipeline_sharded_shard_seconds"}
+        assert counts == {"emit": expected, "score": expected}
+
 
 class TestShardedCLI:
     @pytest.mark.slow
