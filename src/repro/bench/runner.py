@@ -305,6 +305,112 @@ def _stage_serve_online(scale: ExperimentScale, seed: int) -> Dict[str, object]:
     }
 
 
+def _stage_store_recovery(scale: ExperimentScale, seed: int) -> Dict[str, object]:
+    """Durable-store recovery: snapshot + WAL-tail restore vs full replay.
+
+    Streams the smoke corpus through a :class:`repro.storage.Storage` (every
+    upsert fsync-WAL-logged) with one compacted snapshot taken at ~75% of the
+    stream and WAL pruning disabled, so the same directory supports both
+    recovery paths:
+
+    * ``tail_restore_seconds`` — :meth:`Storage.recover` as shipped: load the
+      snapshot, replay only the WAL tail past its LSN;
+    * ``full_replay_seconds`` — the same directory with the snapshot files
+      removed, forcing recovery to replay the entire WAL.
+
+    ``restore_speedup`` (full / tail) is gated by ``--check`` against a
+    ≥1.2x floor: the whole point of compaction is that recovery is
+    O(snapshot + tail), not O(corpus).  The ``*_parity`` extras pin both
+    recovered stores (and a SQLite-backed re-run of the stream) bit-exact
+    against the never-crashed store.  Scoring hashes the pair id
+    (process-stable FNV) — this stage measures the storage engine, not the
+    model.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..serve.store import EntityStore, StoreConfig
+    from ..storage import Storage, StorageConfig
+    from ..text.hashing import stable_hash
+
+    def score_fn(pairs):
+        return np.array([(stable_hash(pair.pair_id) % 1000) / 999.0
+                         for pair in pairs])
+
+    corpus = build_corpus("music3k", "artist", scale=scale, seed=seed)
+    records = list(corpus.records)
+    np.random.default_rng(seed).shuffle(records)
+    store_config = StoreConfig()
+    snapshot_at = max(1, (3 * len(records)) // 4)
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-recovery-") as tmp:
+        data_dir = Path(tmp) / "data"
+        storage = Storage(data_dir, score_fn=score_fn,
+                          store_config=store_config,
+                          config=StorageConfig(prune_wal=False))
+        started = time.perf_counter()
+        for position, record in enumerate(records, start=1):
+            storage.upsert(record)
+            if position == snapshot_at:
+                storage.snapshot()
+        ingest_seconds = time.perf_counter() - started
+        live_state = storage.store.state_dict()
+        live_clusters = storage.store.clusters()
+        fsync_samples = storage.fsync_latency_samples()
+        wal_stats = storage.stats()
+        storage.close()
+
+        # The same log with the snapshot removed: recovery must replay all
+        # of it — the pre-compaction recovery cost.
+        replay_dir = Path(tmp) / "full-replay"
+        shutil.copytree(data_dir, replay_dir)
+        for snapshot in replay_dir.glob("snapshot-*.json"):
+            snapshot.unlink()
+
+        started = time.perf_counter()
+        tail = Storage.recover(data_dir, score_fn=score_fn,
+                               config=StorageConfig(prune_wal=False))
+        tail_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        full = Storage.recover(replay_dir, score_fn=score_fn,
+                               config=StorageConfig(prune_wal=False))
+        full_seconds = time.perf_counter() - started
+
+        recovery_parity = float(tail.store.state_dict() == live_state
+                                and tail.store.clusters() == live_clusters)
+        full_replay_parity = float(full.store.state_dict() == live_state)
+        tail_report = tail.last_recovery
+        tail.close()
+        full.close()
+
+    # The SQLite posting-list backend must block (and therefore cluster)
+    # exactly like the in-memory one over the same stream.
+    sqlite_store = EntityStore(
+        score_fn=score_fn,
+        config=StoreConfig(**{**store_config.as_dict(), "backend": "sqlite"}))
+    for record in records:
+        sqlite_store.upsert(record)
+    sqlite_backend_parity = float(sqlite_store.clusters() == live_clusters)
+    sqlite_store.close()
+
+    return {
+        "num_records": float(len(records)),
+        "durable_upserts_per_second": len(records) / ingest_seconds,
+        "wal_entries": wal_stats["wal_entries"],
+        "wal_bytes": wal_stats["wal_bytes"],
+        "snapshot_lsn": float(tail_report.snapshot_lsn),
+        "tail_replayed_entries": float(tail_report.replayed_entries),
+        "tail_restore_seconds": tail_seconds,
+        "full_replay_seconds": full_seconds,
+        "restore_speedup": full_seconds / max(tail_seconds, 1e-9),
+        "recovery_parity": recovery_parity,
+        "full_replay_parity": full_replay_parity,
+        "sqlite_backend_parity": sqlite_backend_parity,
+        "wal_fsync_latency_samples": fsync_samples,
+    }
+
+
 def _stage_train_epoch(scale: ExperimentScale, seed: int) -> Dict[str, object]:
     """Training-engine micro-benchmark: eager vs graph-replay throughput.
 
@@ -699,6 +805,8 @@ STAGES: Tuple[BenchStage, ...] = (
                _stage_pipeline_sharded_1m),
     BenchStage("serve_online", "online linkage service latency (Music-3K)",
                _stage_serve_online),
+    BenchStage("store_recovery", "durable store: WAL-tail vs full-replay restore",
+               _stage_store_recovery),
     BenchStage("obs_overhead", "telemetry overhead: serve + train, on vs off",
                _stage_obs_overhead),
     BenchStage("obs_distributed", "distributed telemetry: worker capture + merge",
@@ -844,6 +952,11 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
     4-worker ``speedup_4w`` against a ≥3× floor, but only when the current
     machine reports at least 4 CPUs (``cpu_count``); parity always applies,
     parallel speedup only where parallelism physically exists.
+    The ``store_recovery`` stage additionally gates its ``restore_speedup``
+    against a ≥1.2x floor: snapshot + WAL-tail recovery must beat replaying
+    the whole log, or compaction has stopped paying for itself.  Both
+    timings come from the same process on the same directory tree, so no
+    machine-ratio relaxation applies.
     """
     problems: List[Tuple[Optional[str], str]] = []
     if current.get("scale") != baseline.get("scale"):
@@ -903,6 +1016,18 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
                 problems.append((name,
                     f"stage {name!r} sharded speedup is {float(speedup):.2f}x "
                     f"at 4 workers on {cpus:.0f} CPUs; the floor is 3.0x"
+                ))
+        if name == "store_recovery":
+            speedup = cur_entry.get("restore_speedup")
+            if speedup is None:
+                problems.append((None,
+                    "stage 'store_recovery' is missing 'restore_speedup'"))
+            elif float(speedup) < 1.2:
+                problems.append((name,
+                    f"stage 'store_recovery' snapshot + WAL-tail restore is "
+                    f"only {float(speedup):.2f}x faster than full WAL replay; "
+                    f"the floor is 1.2x (compaction must keep recovery "
+                    f"O(snapshot + tail))"
                 ))
         for key, base_value in base_entry.items():
             if key.endswith("_parity"):

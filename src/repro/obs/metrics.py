@@ -48,8 +48,8 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
 
 # The repo-wide naming convention, asserted by a lint test: a known subsystem
 # prefix, a descriptive middle, and a unit suffix.
-METRIC_SUBSYSTEMS = ("pipeline", "index", "serve", "store", "coalescer",
-                     "cache", "infer", "training", "bench", "obs")
+METRIC_SUBSYSTEMS = ("pipeline", "index", "serve", "store", "storage",
+                     "coalescer", "cache", "infer", "training", "bench", "obs")
 METRIC_UNITS = ("total", "seconds", "bytes", "pairs", "records", "entries",
                 "ratio", "count", "ops")
 METRIC_NAME_PATTERN = re.compile(

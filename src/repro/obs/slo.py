@@ -214,6 +214,11 @@ def default_service_objectives() -> Tuple[SLOConfig, ...]:
         SLOConfig("serve_error_rate", "error_rate", target=0.999),
         SLOConfig("coalescer_queue_saturation", "queue_saturation",
                   target=0.99, threshold=0.8),
+        # Recorded by the storage engine's fsync listener when the service
+        # runs over repro.storage (durable mode); no_data otherwise, which
+        # never drags health down.
+        SLOConfig("wal_fsync_latency", "latency_quantile",
+                  target=0.95, threshold=0.025),
     )
 
 

@@ -24,7 +24,8 @@ time — the standard treatment of blocks dominated by frequent keys.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, Hashable, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 import numpy as np
 
@@ -32,8 +33,8 @@ from ..data.records import Record
 from ..text.hashing import stable_hash
 from ..text.tokenizer import tokenize
 
-__all__ = ["InitialsKeyIndex", "InvertedTokenIndex", "MinHashLSHIndex",
-           "build_blocking_indexes", "record_tokens"]
+__all__ = ["InitialsKeyIndex", "InvertedTokenIndex", "MemoryBucketStore",
+           "MinHashLSHIndex", "build_blocking_indexes", "record_tokens"]
 
 # Modulus for the universal hash family h(x) = (a*x + b) mod p. With a
 # Mersenne prime below 2**31 every operand stays below 2**31, so the uint64
@@ -59,6 +60,66 @@ def record_tokens(record: Record, attributes: Optional[Sequence[str]] = None,
     return sorted(tokens)
 
 
+class MemoryBucketStore(dict):
+    """The default posting-list/bucket backend: a plain in-process dict.
+
+    The bucket *store* owns only key → member-position lists; the cap
+    semantics (one extra entry marks an overflowed bucket, overflowed
+    buckets are dead) are shared with every other backend so that swapping
+    the store never changes blocking output.  The SQLite backend in
+    :mod:`repro.storage.backends` implements this same interface with the
+    probe and pair-emission walks fused into single SQL passes.
+    """
+
+    def members(self, key: Hashable) -> Sequence[int]:
+        """Member positions of one bucket, in insertion order (may be empty)."""
+        return self.get(key, ())
+
+    def add(self, key: Hashable, position: int, cap: int) -> None:
+        """Append to a bucket unless it has already overflowed ``cap``."""
+        bucket = self.setdefault(key, [])
+        if len(bucket) <= cap:  # one extra entry marks overflow
+            bucket.append(position)
+
+    def probe(self, keys: Iterable[Hashable], cap: int) -> Set[int]:
+        """Positions in live (non-overflowed) buckets under any of ``keys``."""
+        positions: Set[int] = set()
+        for key in keys:
+            bucket = self.get(key)
+            if bucket and len(bucket) <= cap:
+                positions.update(bucket)
+        return positions
+
+    def emit_pairs(self, cap: int) -> Iterator[Tuple[int, int]]:
+        """Unordered position pairs co-resident in a live bucket.
+
+        Pairs are emitted ``(earlier, later)`` in insertion order — positions
+        grow with insertion, so this is (smaller, larger).
+        """
+        for bucket in self.values():
+            if len(bucket) < 2 or len(bucket) > cap:
+                continue
+            yield from combinations(bucket, 2)
+
+    def sizes(self) -> Dict[Hashable, int]:
+        """Member count of every bucket (overflowed ones included)."""
+        return {key: len(bucket) for key, bucket in self.items()}
+
+    def overflowed(self, cap: int) -> int:
+        """How many buckets exceeded ``cap`` (and are therefore dead)."""
+        return sum(1 for bucket in self.values() if len(bucket) > cap)
+
+    def entries(self) -> Iterator[Tuple[Hashable, List[int]]]:
+        """Every ``(key, members)`` bucket, for state serialization."""
+        return iter(self.items())
+
+    def load(self, entries: Iterable[Tuple[Hashable, List[int]]]) -> None:
+        """Replace the whole bucket state with ``entries`` (bulk restore)."""
+        self.clear()
+        for key, members in entries:
+            self[key] = list(members)
+
+
 class _BucketedIndex:
     """Shared scaffolding: record registry, capped buckets, pair emission.
 
@@ -67,15 +128,20 @@ class _BucketedIndex:
     (each list may grow one entry past ``max_bucket_size`` to mark the
     overflow while bounding memory), and the emission of position pairs from
     non-overflowed buckets.
+
+    ``bucket_store`` swaps the posting-list backend (default: the in-memory
+    :class:`MemoryBucketStore`); every backend follows the same cap
+    semantics, so blocking output is backend-invariant.
     """
 
-    def __init__(self, max_bucket_size: int) -> None:
+    def __init__(self, max_bucket_size: int,
+                 bucket_store: Optional[MemoryBucketStore] = None) -> None:
         if max_bucket_size < 2:
             raise ValueError(f"bucket cap must be >= 2, got {max_bucket_size}")
         self.max_bucket_size = max_bucket_size
         self._record_ids: List[str] = []
         self._sources: List[str] = []
-        self._buckets: Dict[Hashable, List[int]] = {}
+        self._buckets = bucket_store if bucket_store is not None else MemoryBucketStore()
 
     def __len__(self) -> int:
         return len(self._record_ids)
@@ -141,7 +207,7 @@ class _BucketedIndex:
         emitted: List[Tuple[int, int]] = []
         retracted: List[List[int]] = []
         for key in keys:
-            bucket = self._buckets.get(key, ())
+            bucket = self._buckets.members(key)
             if len(bucket) > self.max_bucket_size:
                 continue  # already overflowed: dead and no longer growing
             if len(bucket) == self.max_bucket_size:
@@ -183,12 +249,7 @@ class _BucketedIndex:
 
     def probe_keys(self, keys: Iterable[Hashable]) -> Set[int]:
         """Positions in live buckets under any of ``keys`` (read-only)."""
-        positions: Set[int] = set()
-        for key in keys:
-            bucket = self._buckets.get(key)
-            if bucket and len(bucket) <= self.max_bucket_size:
-                positions.update(bucket)
-        return positions
+        return self._buckets.probe(keys, self.max_bucket_size)
 
     def _register(self, record: Record) -> int:
         """Add a record to the registry and return its position."""
@@ -199,30 +260,63 @@ class _BucketedIndex:
 
     def _bucket_add(self, key: Hashable, position: int) -> None:
         """Append to a bucket unless it has already overflowed its cap."""
-        bucket = self._buckets.setdefault(key, [])
-        if len(bucket) <= self.max_bucket_size:  # one extra entry marks overflow
-            bucket.append(position)
+        self._buckets.add(key, position, self.max_bucket_size)
 
     def candidate_pairs(self, cross_source_only: bool = False) -> Set[Tuple[int, int]]:
         """Unordered position pairs sharing a non-overflowed bucket."""
         pairs: Set[Tuple[int, int]] = set()
         sources = self._sources
-        for bucket in self._buckets.values():
-            if len(bucket) < 2 or len(bucket) > self.max_bucket_size:
+        for left, right in self._buckets.emit_pairs(self.max_bucket_size):
+            if cross_source_only and sources[left] == sources[right]:
                 continue
-            for left, right in combinations(bucket, 2):
-                if cross_source_only and sources[left] == sources[right]:
-                    continue
-                pairs.add((left, right))
+            pairs.add((left, right))
         return pairs
 
     def _overflowed(self) -> int:
-        return sum(1 for bucket in self._buckets.values()
-                   if len(bucket) > self.max_bucket_size)
+        return self._buckets.overflowed(self.max_bucket_size)
 
     def bucket_sizes(self) -> Dict[Hashable, int]:
         """Member count of every bucket (overflowed ones included)."""
-        return {key: len(bucket) for key, bucket in self._buckets.items()}
+        return self._buckets.sizes()
+
+    # ------------------------------------------------------------------ #
+    # State serialization (materialized snapshots)
+    # ------------------------------------------------------------------ #
+    def _encode_key(self, key: Hashable) -> object:
+        """JSON-safe encoding of one bucket key (subclass hook; default: as-is)."""
+        return key
+
+    def _decode_key(self, key: object) -> Hashable:
+        """Inverse of :meth:`_encode_key`."""
+        return key
+
+    def state_dict(self) -> Dict[str, object]:
+        """A JSON-serializable copy of the full index state.
+
+        Everything mutable is *copied* (cheap python list copies), so callers
+        may build the state under a lock and serialize it outside — the
+        copy-under-lock half of the snapshot protocol in
+        :mod:`repro.storage.snapshots`.
+        """
+        return {
+            "record_ids": list(self._record_ids),
+            "sources": list(self._sources),
+            "buckets": [[self._encode_key(key), list(members)]
+                        for key, members in self._buckets.entries()],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Replace the index state with one produced by :meth:`state_dict`.
+
+        The configuration (caps, bands, seeds...) is *not* part of the state:
+        the index must be constructed with the same knobs it was saved under,
+        exactly as model ``state_dict`` conventions have it.
+        """
+        self._record_ids = [str(record_id) for record_id in state["record_ids"]]
+        self._sources = [str(source) for source in state["sources"]]
+        self._buckets.load(
+            (self._decode_key(key), [int(member) for member in members])
+            for key, members in state["buckets"])
 
     def skew_stats(self, top_k: int = 5) -> Dict[str, object]:
         """Bucket-size skew summary: Gini coefficient, extremes, and the
@@ -252,8 +346,9 @@ class InvertedTokenIndex(_BucketedIndex):
     """
 
     def __init__(self, attributes: Optional[Sequence[str]] = None,
-                 min_token_length: int = 3, max_postings: int = 64) -> None:
-        super().__init__(max_bucket_size=max_postings)
+                 min_token_length: int = 3, max_postings: int = 64,
+                 bucket_store: Optional[MemoryBucketStore] = None) -> None:
+        super().__init__(max_bucket_size=max_postings, bucket_store=bucket_store)
         self.attributes = list(attributes) if attributes is not None else None
         self.min_token_length = max(min_token_length, 1)
 
@@ -307,10 +402,11 @@ class InitialsKeyIndex(_BucketedIndex):
     """
 
     def __init__(self, attributes: Optional[Sequence[str]] = None,
-                 max_prefix_tokens: int = 4, max_bucket_size: int = 64) -> None:
+                 max_prefix_tokens: int = 4, max_bucket_size: int = 64,
+                 bucket_store: Optional[MemoryBucketStore] = None) -> None:
         if max_prefix_tokens < 2:
             raise ValueError(f"max_prefix_tokens must be >= 2, got {max_prefix_tokens}")
-        super().__init__(max_bucket_size=max_bucket_size)
+        super().__init__(max_bucket_size=max_bucket_size, bucket_store=bucket_store)
         self.attributes = list(attributes) if attributes is not None else None
         self.max_prefix_tokens = max_prefix_tokens
 
@@ -378,11 +474,12 @@ class MinHashLSHIndex(_BucketedIndex):
 
     def __init__(self, attributes: Optional[Sequence[str]] = None, num_perm: int = 128,
                  bands: int = 32, min_token_length: int = 2, max_bucket_size: int = 64,
-                 seed: int = 7) -> None:
+                 seed: int = 7,
+                 bucket_store: Optional[MemoryBucketStore] = None) -> None:
         if num_perm <= 0 or bands <= 0 or num_perm % bands:
             raise ValueError(f"num_perm ({num_perm}) must be a positive multiple "
                              f"of bands ({bands})")
-        super().__init__(max_bucket_size=max_bucket_size)
+        super().__init__(max_bucket_size=max_bucket_size, bucket_store=bucket_store)
         self.attributes = list(attributes) if attributes is not None else None
         self.num_perm = num_perm
         self.bands = bands
@@ -448,6 +545,13 @@ class MinHashLSHIndex(_BucketedIndex):
         keys = self._band_keys(self.signatures([record]))
         return [(band, int(keys[band, 0])) for band in range(self.bands)]
 
+    def _encode_key(self, key: Hashable) -> object:
+        return list(key)  # (band, value) tuples are not JSON keys
+
+    def _decode_key(self, key: object) -> Hashable:
+        band, value = key  # type: ignore[misc]
+        return (int(band), int(value))
+
     def bucket_keys_batch(self, records: Sequence[Record]) -> List[List[Tuple[int, int]]]:
         """Vectorized batch variant: one signature pass for all ``records``."""
         if not records:
@@ -487,6 +591,7 @@ def build_blocking_indexes(attributes: Optional[Sequence[str]] = None,
                            lsh_max_bucket_size: int = 8, max_postings: int = 8,
                            initials_max_bucket_size: int = 16,
                            min_token_length: int = 3, seed: int = 7,
+                           bucket_stores: Optional[Sequence[MemoryBucketStore]] = None,
                            ) -> Tuple[MinHashLSHIndex, InvertedTokenIndex,
                                       InitialsKeyIndex]:
     """The canonical blocking-index triple, from the shared config knobs.
@@ -498,14 +603,28 @@ def build_blocking_indexes(attributes: Optional[Sequence[str]] = None,
     indexes with identical bucket keys and cap semantics, which is the
     foundation of every streamed==batch and sharded==single-process parity
     guarantee in this codebase.
+
+    ``bucket_stores`` (optional, one per index in the returned order) swaps
+    the posting-list backend — e.g. three
+    :class:`repro.storage.backends.SQLiteBucketStore` instances so cold
+    shards page from disk instead of living in RAM.  Backends share cap
+    semantics, so blocking output is backend-invariant.
     """
+    if bucket_stores is None:
+        bucket_stores = (None, None, None)
+    if len(bucket_stores) != 3:
+        raise ValueError(f"bucket_stores must hold one store per index (3), "
+                         f"got {len(bucket_stores)}")
     return (
         MinHashLSHIndex(attributes=attributes, num_perm=num_perm, bands=bands,
                         min_token_length=min_token_length,
-                        max_bucket_size=lsh_max_bucket_size, seed=seed),
+                        max_bucket_size=lsh_max_bucket_size, seed=seed,
+                        bucket_store=bucket_stores[0]),
         InvertedTokenIndex(attributes=attributes,
                            min_token_length=min_token_length,
-                           max_postings=max_postings),
+                           max_postings=max_postings,
+                           bucket_store=bucket_stores[1]),
         InitialsKeyIndex(attributes=attributes,
-                         max_bucket_size=initials_max_bucket_size),
+                         max_bucket_size=initials_max_bucket_size,
+                         bucket_store=bucket_stores[2]),
     )

@@ -71,10 +71,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a store snapshot to DIR after ingest")
     serving.add_argument("--skip-parity", action="store_true",
                          help="skip the batch-pipeline parity check (faster)")
+    durability = parser.add_argument_group("durability (repro.storage)")
+    durability.add_argument("--data-dir", default=None, metavar="DIR",
+                            help="serve durably: WAL every upsert and keep "
+                                 "compacted snapshots under DIR")
+    durability.add_argument("--recover", action="store_true",
+                            help="restore the store from --data-dir (newest "
+                                 "snapshot + WAL tail) before serving")
+    durability.add_argument("--snapshot-every", type=int, default=500,
+                            metavar="N",
+                            help="auto-snapshot cadence in upserts when "
+                                 "--data-dir is set (default: 500)")
     parser.add_argument("--export", default=None, metavar="JSONL",
                         help="enable telemetry for the demo and write a metrics + "
                              "trace export (view with python -m repro.obs)")
     return parser
+
+
+def _build_storage(args: argparse.Namespace, store_config: StoreConfig):
+    """The storage engine ``--data-dir`` asks for (None without the flag)."""
+    if args.data_dir is None:
+        if args.recover:
+            print("error: --recover needs --data-dir", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from ..storage import Storage, StorageConfig
+
+    config = StorageConfig(snapshot_every=args.snapshot_every)
+    if args.recover:
+        storage = Storage.recover(args.data_dir, config=config)
+        report = storage.last_recovery
+        print(f"recovered {report.records} records from {args.data_dir} "
+              f"(snapshot lsn {report.snapshot_lsn}, "
+              f"{report.replayed_entries} WAL entries replayed) "
+              f"in {report.seconds:.3f}s", flush=True)
+        return storage
+    return Storage(args.data_dir, store_config=store_config, config=config)
 
 
 def _predictor(args: argparse.Namespace) -> BatchedPredictor:
@@ -107,8 +139,11 @@ def run_demo(args: argparse.Namespace) -> int:
     service_config = ServiceConfig(max_batch_size=args.max_batch_size,
                                    max_wait_ms=args.max_wait_ms,
                                    top_k=args.top_k)
-    with LinkageService(predictor, store_config=store_config,
-                        service_config=service_config) as service:
+    storage = _build_storage(args, store_config)
+    with LinkageService(predictor,
+                        store_config=None if storage is not None else store_config,
+                        service_config=service_config,
+                        storage=storage) as service:
         print(f"\nstreaming {len(records)} records through EntityStore.upsert ...",
               flush=True)
         ingest = replay_upserts(service, records)
@@ -139,6 +174,19 @@ def run_demo(args: argparse.Namespace) -> int:
               f"(mean {coalescer['mean_batch_pairs']:.1f} pairs; "
               f"{int(coalescer['size_flushes'])} size / "
               f"{int(coalescer['deadline_flushes'])} deadline flushes)")
+
+        if storage is not None:
+            wal = storage.stats()
+            samples = sorted(storage.fsync_latency_samples())
+            p95 = (samples[int(0.95 * (len(samples) - 1))] * 1000.0
+                   if samples else 0.0)
+            print(f"storage: {int(wal['wal_last_lsn'])} WAL entries in "
+                  f"{int(wal['wal_segments'])} segments "
+                  f"({int(wal['wal_bytes'])} bytes, fsync p95 {p95:.2f} ms)")
+            out = service.snapshot()
+            tail = storage.stats()["wal_tail_entries"]
+            print(f"published compacted snapshot {out.name} "
+                  f"(WAL tail now {int(tail)} entries)")
 
         if args.snapshot:
             out = service.snapshot(args.snapshot)
@@ -181,8 +229,12 @@ def run_health(args: argparse.Namespace) -> int:
     service_config = ServiceConfig(max_batch_size=args.max_batch_size,
                                    max_wait_ms=args.max_wait_ms,
                                    top_k=args.top_k)
-    with LinkageService(predictor, store_config=StoreConfig(score_threshold=args.threshold),
-                        service_config=service_config) as service:
+    store_config = StoreConfig(score_threshold=args.threshold)
+    storage = _build_storage(args, store_config)
+    with LinkageService(predictor,
+                        store_config=None if storage is not None else store_config,
+                        service_config=service_config,
+                        storage=storage) as service:
         print(f"replaying {len(records)} upserts and {len(records)} queries "
               f"({args.workers} workers) against the service ...", flush=True)
         replay_upserts(service, records)

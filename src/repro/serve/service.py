@@ -21,7 +21,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # layering: repro.storage sits above repro.serve
+    from ..storage.engine import Storage
 
 from .. import obs
 from ..data.records import Record
@@ -88,6 +91,12 @@ class LinkageService:
         An existing store to serve (e.g. restored from a snapshot); its
         scoring is re-bound to this service's coalescer.  Default: a fresh
         store built from ``store_config``.
+    storage:
+        A :class:`repro.storage.Storage` engine to serve durably: upserts
+        route through it (WAL append + auto-snapshot cadence), its store
+        becomes the service's store, and per-append fsync latencies feed
+        the ``wal_fsync_latency`` SLO.  Mutually exclusive with ``store`` /
+        ``store_config``.
     slo_objectives:
         The SLO catalog :meth:`health` evaluates (see
         :func:`repro.obs.slo.default_service_objectives` for the defaults).
@@ -99,9 +108,13 @@ class LinkageService:
                  store_config: Optional[StoreConfig] = None,
                  service_config: Optional[ServiceConfig] = None,
                  store: Optional[EntityStore] = None,
+                 storage: Optional["Storage"] = None,
                  slo_objectives: Optional[Sequence[SLOConfig]] = None) -> None:
         if store is not None and store_config is not None:
             raise ValueError("pass either an existing store or a store_config, not both")
+        if storage is not None and (store is not None or store_config is not None):
+            raise ValueError("pass either a storage engine or a "
+                             "store/store_config, not both")
         self.predictor = predictor
         self.config = service_config or ServiceConfig()
         self.slo = SLOMonitor(default_service_objectives()
@@ -113,7 +126,12 @@ class LinkageService:
             max_queue_size=self.config.max_queue_size,
             queue_sample_fn=self._record_queue_saturation,
         )
-        self.store = store if store is not None else EntityStore(config=store_config)
+        self.storage = storage
+        if storage is not None:
+            self.store = storage.store
+            storage.fsync_listener = self._record_wal_fsync
+        else:
+            self.store = store if store is not None else EntityStore(config=store_config)
         self.store.bind_score_fn(self._score, upsert_score_fn=self._score_upsert)
         self._started_at: Optional[float] = None
 
@@ -135,6 +153,10 @@ class LinkageService:
     def _record_queue_saturation(self, saturation: float) -> None:
         if "coalescer_queue_saturation" in self.slo:
             self.slo.record("coalescer_queue_saturation", saturation)
+
+    def _record_wal_fsync(self, seconds: float) -> None:
+        if "wal_fsync_latency" in self.slo:
+            self.slo.record("wal_fsync_latency", seconds)
 
     def _record_request(self, objective: str, seconds: float, ok: bool) -> None:
         if ok and objective in self.slo:
@@ -167,7 +189,9 @@ class LinkageService:
         start = time.perf_counter()
         try:
             with obs.trace("serve.upsert", record_id=record.record_id) as span:
-                entity_id = self.store.upsert(record)
+                entity_id = (self.storage.upsert(record)
+                             if self.storage is not None
+                             else self.store.upsert(record))
                 span.set("entity_id", entity_id)
         except BaseException:
             self._record_request("serve_upsert_latency",
@@ -194,8 +218,19 @@ class LinkageService:
         self._record_request("serve_query_latency", seconds, ok=True)
         return QueryResult(matches=matches, seconds=seconds)
 
-    def snapshot(self, path: Union[str, Path]) -> Path:
-        """Persist the store (see :meth:`EntityStore.snapshot`)."""
+    def snapshot(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Persist the store.
+
+        With a ``path``, write a legacy directory snapshot
+        (:meth:`EntityStore.snapshot`).  Without one, the service must be
+        running over a storage engine: publish a compacted engine snapshot
+        into its data directory (:meth:`repro.storage.Storage.snapshot`).
+        """
+        if path is None:
+            if self.storage is None:
+                raise ValueError("snapshot() without a path needs a storage "
+                                 "engine (LinkageService(storage=...))")
+            return self.storage.snapshot()
         return self.store.snapshot(path)
 
     # ------------------------------------------------------------------ #
@@ -219,10 +254,14 @@ class LinkageService:
                    "max_batch_size": float(self.config.max_batch_size),
                    "max_wait_ms": float(self.config.max_wait_ms),
                    "max_queue_size": float(self.config.max_queue_size)}
-        return {
+        report = {
             "service": service,
             "store": self.store.stats(),
             "coalescer": self.coalescer.stats(),
             "predictor": {key: float(value)
                           for key, value in self.predictor.stats().items()},
         }
+        if self.storage is not None:
+            report["storage"] = {key: float(value)
+                                 for key, value in self.storage.stats().items()}
+        return report

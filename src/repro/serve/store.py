@@ -34,9 +34,10 @@ bit-exact without needing the model at load time.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields, replace
 from itertools import combinations
 from pathlib import Path
 from typing import (Callable, Dict, List, Mapping, NamedTuple, Optional,
@@ -52,12 +53,35 @@ from ..pipeline.engine import PipelineConfig
 from ..pipeline.index import build_blocking_indexes
 from ..utils.serialization import load_json, save_json
 
-__all__ = ["EntityStore", "StoreConfig", "QueryMatch", "SNAPSHOT_FORMAT_VERSION"]
+__all__ = ["EntityStore", "StoreConfig", "QueryMatch",
+           "SNAPSHOT_FORMAT_VERSION", "SUPPORTED_SNAPSHOT_VERSIONS",
+           "STATE_FORMAT_VERSION"]
 
-SNAPSHOT_FORMAT_VERSION = 1
+# Directory snapshots (snapshot()/restore()): version 2 marks the atomic
+# temp-file + rename write path; the payload schema is unchanged, so both
+# versions load.
+SNAPSHOT_FORMAT_VERSION = 2
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+
+# Materialized state dicts (freeze_state()/from_state_dict()), used by the
+# repro.storage snapshot files.
+STATE_FORMAT_VERSION = 1
+SUPPORTED_STATE_VERSIONS = (1,)
 
 ScoreFn = Callable[[Sequence[EntityPair]], np.ndarray]
 PairKey = Tuple[int, int]  # (smaller position, larger position)
+#: Commit hook: (record, {pair_id: score}, planned bucket retractions) —
+#: called after scoring, before any mutation; see set_commit_hook().
+CommitHook = Callable[[Record, Dict[str, float], List[List[int]]], None]
+
+
+def _pair_key_str(key: PairKey) -> str:
+    return f"{key[0]},{key[1]}"
+
+
+def _parse_pair_key(text: str) -> PairKey:
+    left, right = text.split(",")
+    return (int(left), int(right))
 
 
 @dataclass(frozen=True)
@@ -79,6 +103,11 @@ class StoreConfig:
     score_threshold: float = 0.5
     source_consistent: bool = True
     seed: int = 7
+    # Posting-list backend of the blocking indexes: "memory" (default) or
+    # "sqlite" (repro.storage.backends — bucket state pages from disk).
+    # backend_path is the SQLite database file; None keeps it in memory.
+    backend: str = "memory"
+    backend_path: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -94,6 +123,8 @@ class StoreConfig:
             "score_threshold": self.score_threshold,
             "source_consistent": self.source_consistent,
             "seed": self.seed,
+            "backend": self.backend,
+            "backend_path": self.backend_path,
         }
 
     @classmethod
@@ -117,6 +148,10 @@ class StoreConfig:
     def to_pipeline_config(self, **overrides: object) -> PipelineConfig:
         """The batch pipeline config this store is parity-equivalent to."""
         payload = self.as_dict()
+        # Backend choice is a storage concern with no batch-pipeline
+        # counterpart (blocking output is backend-invariant).
+        payload.pop("backend", None)
+        payload.pop("backend_path", None)
         payload.update(overrides)
         return PipelineConfig(**payload)  # type: ignore[arg-type]
 
@@ -204,13 +239,24 @@ class EntityStore:
         self._upsert_score_fn = upsert_score_fn
         self._lock = threading.RLock()
         config_ = self.config
+        self._backend = None
+        bucket_stores = None
+        if config_.backend == "sqlite":
+            # Imported lazily: repro.storage.engine imports this module.
+            from ..storage.backends import SQLiteIndexBackend
+            self._backend = SQLiteIndexBackend(config_.backend_path)
+            bucket_stores = self._backend.bucket_stores(3)
+        elif config_.backend != "memory":
+            raise ValueError(f"unknown index backend {config_.backend!r} "
+                             f"(expected 'memory' or 'sqlite')")
         self._indexes = build_blocking_indexes(
             attributes=config_.blocking_attributes,
             num_perm=config_.num_perm, bands=config_.bands,
             lsh_max_bucket_size=config_.lsh_max_bucket_size,
             max_postings=config_.max_postings,
             initials_max_bucket_size=config_.initials_max_bucket_size,
-            min_token_length=config_.min_token_length, seed=config_.seed)
+            min_token_length=config_.min_token_length, seed=config_.seed,
+            bucket_stores=bucket_stores)
         self._records: List[Record] = []
         self._position: Dict[str, int] = {}
         # Candidate bookkeeping: pair -> number of live buckets (across all
@@ -223,6 +269,7 @@ class EntityStore:
         self._entity_of: Dict[int, str] = {}
         self._members: Dict[str, List[int]] = {}
         self.counters = _StoreCounters()
+        self._commit_hook: Optional[CommitHook] = None
         self._obs = BoundHandles(_bind_store_instruments)
 
     # ------------------------------------------------------------------ #
@@ -253,6 +300,32 @@ class EntityStore:
         with self._lock:
             self._score_fn = score_fn
             self._upsert_score_fn = upsert_score_fn
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store's internal (reentrant) lock.
+
+        The storage engine holds it to freeze a state copy atomically with
+        the WAL position; ordinary callers never need it."""
+        return self._lock
+
+    def set_commit_hook(self, hook: Optional[CommitHook]) -> None:
+        """Install (or clear, with ``None``) the upsert commit hook.
+
+        The hook runs under the store lock after a real (non-idempotent)
+        upsert is planned and scored but *before* anything is mutated, with
+        ``(record, {pair_id: score}, planned bucket retractions)``.  An
+        exception from the hook aborts the upsert with the store untouched —
+        which is exactly what lets :class:`repro.storage.Storage` make the
+        WAL append a durability barrier.
+        """
+        with self._lock:
+            self._commit_hook = hook
+
+    def close(self) -> None:
+        """Release backend resources (the SQLite connection, if any)."""
+        if self._backend is not None:
+            self._backend.close()
 
     def entity_of(self, record_id: str) -> str:
         """The entity id currently holding ``record_id``."""
@@ -386,6 +459,18 @@ class EntityStore:
             # not leave a half-ingested record behind.
             scores = self._score_pairs(pairs, self._upsert_score_fn or self._score_fn)
 
+            # Durability barrier: the commit hook (WAL append) sees the full
+            # planned effect of the upsert and runs before any mutation, so
+            # both a hook failure and a crash on either side of it leave
+            # store state and log consistent.
+            if self._commit_hook is not None:
+                self._commit_hook(
+                    record,
+                    {pair.pair_id: float(score)
+                     for pair, score in zip(pairs, scores)},
+                    [list(members) for members in retracted])
+            self.counters.pairs_scored += len(pairs)
+
             # Commit: indexes, registry, support, scores/edges, clusters.
             for index, keys in zip(self._indexes, planned_keys):
                 index.commit_one(record, keys)
@@ -429,7 +514,6 @@ class EntityStore:
         if scores.shape != (len(pairs),):
             raise ValueError(f"score_fn returned shape {scores.shape} for "
                              f"{len(pairs)} pairs")
-        self.counters.pairs_scored += len(pairs)
         return scores
 
     def _pair_key(self, left: int, right: int) -> PairKey:
@@ -637,38 +721,127 @@ class EntityStore:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
+    def freeze_state(self) -> Dict[str, object]:
+        """A consistent, no-longer-shared copy of the full store state.
+
+        Takes the lock only for cheap Python copies (lists, dicts, the
+        index state dicts) — the copy-under-lock half of the snapshot
+        protocol; pass the result to :meth:`serialize_state` outside the
+        lock.  Unlike the legacy directory snapshot this also captures the
+        index bucket state, so loading it back is a deserialization, not an
+        upsert replay.
+        """
+        with self._lock:
+            return {
+                "config": self.config,
+                "records": list(self._records),
+                "scores": dict(self._scores),
+                "support": dict(self._support),
+                "members": {entity_id: list(members)
+                            for entity_id, members in self._members.items()},
+                "counters": replace(self.counters),
+                "indexes": [index.state_dict() for index in self._indexes],
+            }
+
+    @staticmethod
+    def serialize_state(frozen: Dict[str, object]) -> Dict[str, object]:
+        """JSON-ready form of a :meth:`freeze_state` copy (lock-free)."""
+        return {
+            "format_version": STATE_FORMAT_VERSION,
+            "config": frozen["config"].as_dict(),
+            "records": [record.to_dict() for record in frozen["records"]],
+            "scores": {_pair_key_str(key): score
+                       for key, score in frozen["scores"].items()},
+            "support": {_pair_key_str(key): count
+                        for key, count in frozen["support"].items()},
+            "members": frozen["members"],
+            "counters": asdict(frozen["counters"]),
+            "indexes": frozen["indexes"],
+        }
+
+    def state_dict(self) -> Dict[str, object]:
+        """:meth:`freeze_state` + :meth:`serialize_state` in one call."""
+        return self.serialize_state(self.freeze_state())
+
+    @classmethod
+    def from_state_dict(cls, payload: Mapping[str, object],
+                        score_fn: Optional[ScoreFn] = None) -> "EntityStore":
+        """Rebuild a store from a :meth:`state_dict` payload — a pure
+        deserialization (indexes included), O(state) rather than O(corpus)
+        replay.  Without ``score_fn`` the store is read-only until
+        :meth:`bind_score_fn`."""
+        version = payload.get("format_version")
+        if version not in SUPPORTED_STATE_VERSIONS:
+            raise ValueError(f"unsupported store state version {version!r} "
+                             f"(supported: {SUPPORTED_STATE_VERSIONS})")
+        config = StoreConfig.from_dict(payload["config"])
+        store = cls(score_fn=score_fn, config=config)
+        for index, state in zip(store._indexes, payload["indexes"]):
+            index.load_state_dict(state)
+        store._records = [Record.from_dict(item) for item in payload["records"]]
+        store._position = {record.record_id: position
+                           for position, record in enumerate(store._records)}
+        store._scores = {_parse_pair_key(key): float(score)
+                         for key, score in payload["scores"].items()}
+        store._support = {_parse_pair_key(key): int(count)
+                          for key, count in payload["support"].items()}
+        # Match edges are derivable: live candidacy (support) + archived
+        # score over the threshold.
+        for key in store._support:
+            if store._scores.get(key, 0.0) >= config.score_threshold:
+                store._match_adj.setdefault(key[0], set()).add(key[1])
+                store._match_adj.setdefault(key[1], set()).add(key[0])
+        store._members = {entity_id: [int(member) for member in members]
+                          for entity_id, members in payload["members"].items()}
+        store._entity_of = {member: entity_id
+                            for entity_id, members in store._members.items()
+                            for member in members}
+        known = {field.name for field in fields(_StoreCounters)}
+        store.counters = _StoreCounters(
+            **{key: int(value)
+               for key, value in dict(payload.get("counters", {})).items()
+               if key in known})
+        return store
+
     def snapshot(self, path: Union[str, Path]) -> Path:
         """Write the store to ``path`` (a directory).
 
         The snapshot holds the record stream (in upsert order), every live
         candidate pair's score, the config and the resolved entities; that is
         sufficient for a bit-exact :meth:`restore` without the model.
+
+        Upserts are only blocked while the state is *copied*; serialization
+        and file writes happen outside the lock, and both files are
+        published with a temp-file + atomic-rename so readers never see a
+        half-written snapshot.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         with self._lock:
-            with (path / "records.jsonl").open("w", encoding="utf-8") as handle:
-                for record in self._records:
-                    handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            records = list(self._records)
             # Keyed like EntityPair.pair_id: record ids in string order.
-            scores = {"|".join(sorted((self._records[left].record_id,
-                                       self._records[right].record_id))): score
+            scores = {"|".join(sorted((records[left].record_id,
+                                       records[right].record_id))): score
                       for (left, right), score in self._scores.items()}
-            save_json({
-                "format_version": SNAPSHOT_FORMAT_VERSION,
-                "config": self.config.as_dict(),
-                "num_records": len(self._records),
-                "scores": scores,
-                "entities": self.entities(),
-                "counters": {
-                    "upserts": self.counters.upserts,
-                    "pairs_scored": self.counters.pairs_scored,
-                    "pairs_retracted": self.counters.pairs_retracted,
-                    "edges_retracted": self.counters.edges_retracted,
-                    "resolutions": self.counters.resolutions,
-                    "queries": self.counters.queries,
-                },
-            }, path / "store.json")
+            entities = {entity_id: sorted(records[position].record_id
+                                          for position in members)
+                        for entity_id, members in self._members.items()}
+            counters = asdict(self.counters)
+        tmp_records = path / ".records.jsonl.tmp"
+        with tmp_records.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        os.replace(tmp_records, path / "records.jsonl")
+        tmp_store = path / ".store.json.tmp"
+        save_json({
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "config": self.config.as_dict(),
+            "num_records": len(records),
+            "scores": scores,
+            "entities": entities,
+            "counters": counters,
+        }, tmp_store)
+        os.replace(tmp_store, path / "store.json")
         return path
 
     @classmethod
@@ -686,9 +859,9 @@ class EntityStore:
         path = Path(path)
         state = load_json(path / "store.json")
         version = state.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
+        if version not in SUPPORTED_SNAPSHOT_VERSIONS:
             raise ValueError(f"unsupported snapshot format version {version!r} "
-                             f"(expected {SNAPSHOT_FORMAT_VERSION})")
+                             f"(supported: {SUPPORTED_SNAPSHOT_VERSIONS})")
         config = StoreConfig.from_dict(state["config"])
         stored_scores: Dict[str, float] = state["scores"]
 
@@ -708,7 +881,13 @@ class EntityStore:
         if len(store) != int(state["num_records"]):
             raise ValueError(f"snapshot at {path} holds {state['num_records']} "
                              f"records but {len(store)} were replayed")
-        saved_counters = state.get("counters", {})
-        store.counters = _StoreCounters(**saved_counters)
+        # Tolerate counter schema drift across snapshot generations: unknown
+        # keys are dropped, missing ones keep the replayed values (mirrors
+        # the obs export schema-versioning convention).
+        known = {field.name for field in fields(_StoreCounters)}
+        saved_counters = {key: int(value)
+                          for key, value in dict(state.get("counters", {})).items()
+                          if key in known}
+        store.counters = replace(store.counters, **saved_counters)
         store._score_fn = score_fn
         return store

@@ -1,0 +1,31 @@
+"""repro.storage — durability under the serve layer.
+
+A write-ahead log (:mod:`~repro.storage.wal`), compacted snapshots
+(:mod:`~repro.storage.snapshots`), the :class:`Storage` engine tying them
+around an :class:`~repro.serve.EntityStore`
+(:mod:`~repro.storage.engine`), a SQLite posting-list backend for the
+blocking indexes (:mod:`~repro.storage.backends`), and the injected crash
+points the recovery property tests kill processes at
+(:mod:`~repro.storage.crashpoints`).
+
+See ``docs/storage.md`` for the on-disk formats and the recovery
+invariants.
+"""
+
+from __future__ import annotations
+
+from .backends import SQLiteBucketStore, SQLiteIndexBackend
+from .crashpoints import CRASH_EXIT_CODE, CRASH_POINTS, maybe_crash
+from .engine import (META_FILENAME, RecoveryReport, STORAGE_FORMAT_VERSION,
+                     Storage, StorageConfig, StorageError)
+from .snapshots import SnapshotError, SnapshotManager
+from .wal import WALAppend, WALError, WriteAheadLog
+
+__all__ = [
+    "Storage", "StorageConfig", "StorageError", "RecoveryReport",
+    "STORAGE_FORMAT_VERSION", "META_FILENAME",
+    "WriteAheadLog", "WALAppend", "WALError",
+    "SnapshotManager", "SnapshotError",
+    "SQLiteIndexBackend", "SQLiteBucketStore",
+    "CRASH_POINTS", "CRASH_EXIT_CODE", "maybe_crash",
+]

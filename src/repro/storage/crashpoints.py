@@ -1,0 +1,70 @@
+"""Injected crash points for property-testing durability.
+
+The storage engine calls :func:`maybe_crash` at every point where a real
+process could die between a WAL append and the corresponding in-memory
+commit (or between a snapshot write and its rename).  In production the
+calls are no-ops; a test harness arms one point through environment
+variables, runs the workload in a subprocess, and the process dies with
+``os._exit`` — no ``atexit`` hooks, no flushing, no unwinding — exactly
+like a power cut at that instruction.
+
+Environment contract (read per call, so a parent can arm a child through
+``subprocess`` env):
+
+* ``REPRO_STORAGE_CRASH_POINT`` — the crash-point name to die at;
+* ``REPRO_STORAGE_CRASH_HITS`` — die on the N-th hit of that point
+  (default 1), so a harness can survive the first k upserts and kill
+  the (k+1)-th.
+
+The process exits with :data:`CRASH_EXIT_CODE` so the harness can tell an
+injected crash from an ordinary failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["CRASH_POINTS", "CRASH_EXIT_CODE", "CRASH_POINT_ENV",
+           "CRASH_HITS_ENV", "armed", "maybe_crash", "reset_hits"]
+
+#: Every point the engine injects, in upsert/snapshot order.
+CRASH_POINTS = (
+    "before_wal_append",      # upsert planned+scored, nothing durable yet
+    "mid_wal_append",         # entry header written, payload missing (torn tail)
+    "after_wal_append",       # entry durable, in-memory indexes NOT updated
+    "after_commit",           # entry durable and applied
+    "before_snapshot_rename", # snapshot temp file written, not yet visible
+    "after_snapshot_rename",  # snapshot visible, WAL segments NOT yet pruned
+)
+
+#: Exit status of an injected crash (distinct from any pytest/python code).
+CRASH_EXIT_CODE = 86
+
+CRASH_POINT_ENV = "REPRO_STORAGE_CRASH_POINT"
+CRASH_HITS_ENV = "REPRO_STORAGE_CRASH_HITS"
+
+_hits: dict = {}
+
+
+def reset_hits() -> None:
+    """Forget hit counts (tests that arm points in-process between runs)."""
+    _hits.clear()
+
+
+def armed(point: str) -> bool:
+    """Whether ``point`` is the armed crash point of this process."""
+    return os.environ.get(CRASH_POINT_ENV) == point
+
+
+def maybe_crash(point: str) -> None:
+    """Die with ``os._exit(CRASH_EXIT_CODE)`` if ``point`` is armed and its
+    hit count has been reached; otherwise do nothing."""
+    if point not in CRASH_POINTS:
+        raise ValueError(f"unknown crash point {point!r} "
+                         f"(known: {', '.join(CRASH_POINTS)})")
+    if not armed(point):
+        return
+    _hits[point] = _hits.get(point, 0) + 1
+    target = int(os.environ.get(CRASH_HITS_ENV, "1"))
+    if _hits[point] >= target:
+        os._exit(CRASH_EXIT_CODE)

@@ -56,6 +56,9 @@ class TestStageRegistry:
     def test_obs_distributed_stage_registered(self):
         assert "obs_distributed" in {name for name, _ in list_stages()}
 
+    def test_store_recovery_stage_registered(self):
+        assert "store_recovery" in {name for name, _ in list_stages()}
+
 
 class TestLatencyPercentiles:
     def test_samples_fold_into_millisecond_percentiles(self):
@@ -268,6 +271,50 @@ class TestPerfGate:
         messages = " ".join(problem for _, problem in problems)
         assert "worker_span_coverage" in messages
         assert "merge_overhead_ratio" in messages
+
+    @staticmethod
+    def recovery_payload(speedup=2.0, recovery=1.0, full_replay=1.0,
+                         sqlite=1.0, seconds=0.6):
+        return {"scale": "smoke",
+                "stages": {"store_recovery": {
+                    "seconds": seconds,
+                    "restore_speedup": speedup,
+                    "recovery_parity": recovery,
+                    "full_replay_parity": full_replay,
+                    "sqlite_backend_parity": sqlite}}}
+
+    def test_store_recovery_clean_run_passes(self):
+        assert check_regressions(self.recovery_payload(speedup=1.3),
+                                 self.recovery_payload()) == []
+
+    def test_store_recovery_speedup_below_floor_fails_and_is_retryable(self):
+        """Tail restore must beat full replay by 1.2x even when the baseline
+        machine recorded a similarly bad number."""
+        baseline = self.recovery_payload(speedup=1.1)
+        problems = find_regressions(self.recovery_payload(speedup=1.1), baseline)
+        assert [name for name, _ in problems] == ["store_recovery"]
+        assert "1.2x" in problems[0][1]
+
+    def test_store_recovery_missing_speedup_reported(self):
+        current = {"scale": "smoke",
+                   "stages": {"store_recovery": {"seconds": 0.6,
+                                                 "recovery_parity": 1.0,
+                                                 "full_replay_parity": 1.0,
+                                                 "sqlite_backend_parity": 1.0}}}
+        problems = find_regressions(current, self.recovery_payload())
+        assert any("restore_speedup" in message for _, message in problems)
+
+    @pytest.mark.parametrize("flag", ["recovery_parity", "full_replay_parity",
+                                      "sqlite_backend_parity"])
+    def test_store_recovery_parity_flags_are_exact(self, flag):
+        current = self.recovery_payload(**{
+            {"recovery_parity": "recovery",
+             "full_replay_parity": "full_replay",
+             "sqlite_backend_parity": "sqlite"}[flag]: 0.0})
+        problems = find_regressions(current, self.recovery_payload())
+        assert len(problems) == 1
+        assert problems[0][0] is None  # deterministic: not retryable
+        assert flag in problems[0][1]
 
 
 class TestCli:

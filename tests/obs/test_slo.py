@@ -158,7 +158,8 @@ class TestSLOMonitor:
         assert monitor.names() == ["serve_query_latency",
                                    "serve_upsert_latency",
                                    "serve_error_rate",
-                                   "coalescer_queue_saturation"]
+                                   "coalescer_queue_saturation",
+                                   "wal_fsync_latency"]
 
     def test_health_is_worst_objective_with_data(self):
         clock = FakeClock()

@@ -1,0 +1,15 @@
+"""tests/storage fixtures: make the crash-child workload importable.
+
+The crash harness runs ``_crash_child.py`` as a subprocess; the parent
+tests import the *same module* for the corpus, configs and score function,
+so both sides agree bit-for-bit on the workload.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+if str(HERE) not in sys.path:
+    sys.path.insert(0, str(HERE))

@@ -1,0 +1,166 @@
+"""SnapshotManager protocol + the legacy EntityStore snapshot fixes.
+
+The second half regression-tests the serve-layer satellite work: the legacy
+directory snapshot no longer holds the store lock while serializing (a
+concurrent upsert completes while a snapshot is mid-write), both its files
+are published atomically, and restore tolerates older format versions and
+counter-schema drift.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import _crash_child as child
+from repro.serve import store as store_module
+from repro.serve.store import (SNAPSHOT_FORMAT_VERSION,
+                               SUPPORTED_SNAPSHOT_VERSIONS, EntityStore)
+from repro.storage.snapshots import SnapshotManager
+
+
+class TestSnapshotManager:
+    def test_take_and_load_latest_round_trip(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.take({"value": 1}, lsn=10)
+        manager.take({"value": 2}, lsn=25)
+        lsn, payload = manager.load_latest()
+        assert (lsn, payload) == (25, {"value": 2})
+
+    def test_list_is_sorted_by_lsn(self, tmp_path):
+        manager = SnapshotManager(tmp_path, keep=5)
+        for lsn in (30, 10, 20):
+            manager.take({"lsn_was": lsn}, lsn=lsn)
+        assert [lsn for lsn, _ in manager.list()] == [10, 20, 30]
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = SnapshotManager(tmp_path, keep=2)
+        for lsn in (10, 20, 30):
+            manager.take({}, lsn=lsn)
+        assert [lsn for lsn, _ in manager.list()] == [20, 30]
+
+    def test_no_temp_files_survive_publication(self, tmp_path):
+        SnapshotManager(tmp_path).take({"value": 1}, lsn=1)
+        assert [p.name for p in tmp_path.iterdir()] == \
+            [f"snapshot-{1:016d}.json"]
+
+    def test_cleanup_removes_stale_temp_files_only(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.take({}, lsn=5)
+        stale = tmp_path / ".snapshot-0000000000000009.json.tmp"
+        stale.write_text("{", encoding="utf-8")
+        assert manager.cleanup() == 1
+        assert not stale.exists()
+        assert manager.latest()[0] == 5
+
+    def test_damaged_newest_degrades_to_previous(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.take({"value": 1}, lsn=10)
+        manager.take({"value": 2}, lsn=20)
+        newest = manager.latest()[1]
+        newest.write_text("not json", encoding="utf-8")
+        assert manager.load_latest() == (10, {"value": 1})
+
+    def test_empty_directory_has_nothing_to_load(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        assert manager.latest() is None
+        assert manager.load_latest() is None
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            SnapshotManager(tmp_path, keep=0)
+
+
+@pytest.fixture()
+def streamed_store(tiny_music_corpus):
+    store = EntityStore(score_fn=child.score_fn, config=child.store_config())
+    for record in tiny_music_corpus.records[:20]:
+        store.upsert(record)
+    return store
+
+
+class TestLegacySnapshotLocking:
+    def test_concurrent_upsert_completes_while_snapshot_is_mid_write(
+            self, streamed_store, tiny_music_corpus, tmp_path, monkeypatch):
+        """Serialization happens outside the store lock: park the snapshot
+        thread inside its file-writing phase and prove an upsert still
+        goes through before the snapshot finishes."""
+        mid_write = threading.Event()
+        release = threading.Event()
+        real_save_json = store_module.save_json
+
+        def parked_save_json(payload, path):
+            mid_write.set()
+            assert release.wait(timeout=10.0)
+            return real_save_json(payload, path)
+
+        monkeypatch.setattr(store_module, "save_json", parked_save_json)
+        snapshotter = threading.Thread(
+            target=streamed_store.snapshot, args=(tmp_path / "snap",))
+        snapshotter.start()
+        try:
+            assert mid_write.wait(timeout=10.0)
+            upserted = threading.Event()
+
+            def upsert():
+                streamed_store.upsert(tiny_music_corpus.records[20])
+                upserted.set()
+
+            writer = threading.Thread(target=upsert)
+            writer.start()
+            finished = upserted.wait(timeout=10.0)
+            writer.join(timeout=10.0)
+            assert finished, "upsert blocked behind a mid-write snapshot"
+        finally:
+            release.set()
+            snapshotter.join(timeout=10.0)
+        # The snapshot captured the pre-upsert state it froze under the lock.
+        restored = EntityStore.restore(tmp_path / "snap")
+        assert len(restored) == 20
+        assert len(streamed_store) == 21
+
+    def test_snapshot_publishes_atomically(self, streamed_store, tmp_path):
+        out = streamed_store.snapshot(tmp_path / "snap")
+        assert sorted(p.name for p in out.iterdir()) == \
+            ["records.jsonl", "store.json"]  # no .tmp leftovers
+        state = json.loads((out / "store.json").read_text(encoding="utf-8"))
+        assert state["format_version"] == SNAPSHOT_FORMAT_VERSION
+
+
+class TestLegacyRestoreTolerance:
+    def rewrite_state(self, path, mutate):
+        store_json = path / "store.json"
+        state = json.loads(store_json.read_text(encoding="utf-8"))
+        mutate(state)
+        store_json.write_text(json.dumps(state), encoding="utf-8")
+
+    def test_older_format_version_still_loads(self, streamed_store, tmp_path):
+        out = streamed_store.snapshot(tmp_path / "snap")
+        assert 1 in SUPPORTED_SNAPSHOT_VERSIONS
+        self.rewrite_state(out, lambda s: s.update(format_version=1))
+        restored = EntityStore.restore(out, score_fn=child.score_fn)
+        assert restored.clusters() == streamed_store.clusters()
+
+    def test_unknown_format_version_is_rejected(self, streamed_store, tmp_path):
+        out = streamed_store.snapshot(tmp_path / "snap")
+        self.rewrite_state(out, lambda s: s.update(format_version=99))
+        with pytest.raises(ValueError, match="format version"):
+            EntityStore.restore(out)
+
+    def test_counter_schema_drift_is_tolerated(self, streamed_store, tmp_path):
+        out = streamed_store.snapshot(tmp_path / "snap")
+
+        def drift(state):
+            state["counters"].pop("pairs_scored")       # older snapshot
+            state["counters"]["counter_from_the_future"] = 7
+
+        self.rewrite_state(out, drift)
+        restored = EntityStore.restore(out)
+        assert restored.clusters() == streamed_store.clusters()
+        # The missing key keeps its replayed value; the unknown key is dropped.
+        assert restored.counters.pairs_scored == \
+            streamed_store.counters.pairs_scored
+        assert not hasattr(restored.counters, "counter_from_the_future")

@@ -1,0 +1,175 @@
+"""WriteAheadLog: framing, rotation, torn-tail truncation, pruning."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.storage.wal import (SEGMENT_PREFIX, WALError, WriteAheadLog,
+                               _HEADER)
+
+
+def open_log(directory, **kwargs):
+    kwargs.setdefault("fsync", False)  # tests don't need durability
+    return WriteAheadLog(directory, **kwargs)
+
+
+def fill(log, count, start=1):
+    return [log.append({"value": index})
+            for index in range(start, start + count)]
+
+
+def segment_files(directory):
+    return sorted(directory.glob(SEGMENT_PREFIX + "*.log"))
+
+
+class TestAppendReplay:
+    def test_lsns_are_dense_and_one_based(self, tmp_path):
+        log = open_log(tmp_path)
+        appends = fill(log, 5)
+        assert [a.lsn for a in appends] == [1, 2, 3, 4, 5]
+        assert log.last_lsn == 5
+
+    def test_replay_round_trips_payloads_in_order(self, tmp_path):
+        log = open_log(tmp_path)
+        fill(log, 5)
+        entries = list(log.replay())
+        assert [e["lsn"] for e in entries] == [1, 2, 3, 4, 5]
+        assert [e["value"] for e in entries] == [1, 2, 3, 4, 5]
+
+    def test_replay_after_lsn_skips_the_prefix(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 7)
+        assert [e["lsn"] for e in log.replay(after_lsn=3)] == [4, 5, 6, 7]
+
+    def test_payload_must_not_carry_lsn(self, tmp_path):
+        log = open_log(tmp_path)
+        with pytest.raises(ValueError, match="lsn"):
+            log.append({"lsn": 9})
+
+    def test_append_reports_bytes_written(self, tmp_path):
+        log = open_log(tmp_path)
+        result = log.append({"value": 1})
+        blob = json.dumps({"lsn": 1, "value": 1}, sort_keys=True).encode()
+        assert result.nbytes == _HEADER.size + len(blob)
+
+    def test_fsync_enabled_reports_a_latency(self, tmp_path):
+        log = WriteAheadLog(tmp_path, fsync=True)
+        assert log.append({"value": 1}).fsync_seconds > 0.0
+
+
+class TestRotation:
+    def test_segments_rotate_and_are_named_by_first_lsn(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=3)
+        fill(log, 8)
+        names = [path.name for path in log.segments()]
+        assert names == [f"wal-{lsn:016d}.log" for lsn in (1, 4, 7)]
+
+    def test_reopen_preserves_the_log(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=3)
+        fill(log, 8)
+        log.close()
+        reopened = open_log(tmp_path, segment_max_entries=3)
+        assert reopened.last_lsn == 8
+        assert [e["value"] for e in reopened.replay()] == list(range(1, 9))
+        # Appends continue exactly where the log left off.
+        assert reopened.append({"value": 9}).lsn == 9
+
+
+class TestTornTail:
+    def test_truncated_final_entry_is_discarded(self, tmp_path):
+        log = open_log(tmp_path)
+        fill(log, 5)
+        log.close()
+        path = segment_files(tmp_path)[-1]
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])  # tear the last entry mid-payload
+        reopened = open_log(tmp_path)
+        assert reopened.last_lsn == 4
+        assert [e["lsn"] for e in reopened.replay()] == [1, 2, 3, 4]
+        # The torn bytes are gone from disk, not just skipped.
+        assert len(path.read_bytes()) < len(blob) - 3
+
+    def test_header_only_tail_is_discarded(self, tmp_path):
+        # What a crash inside append leaves: header durable, payload absent.
+        log = open_log(tmp_path)
+        fill(log, 3)
+        log.close()
+        path = segment_files(tmp_path)[-1]
+        with path.open("ab") as handle:
+            handle.write(_HEADER.pack(1000, 0))
+        assert open_log(tmp_path).last_lsn == 3
+
+    def test_checksum_failure_at_tail_is_discarded(self, tmp_path):
+        log = open_log(tmp_path)
+        fill(log, 3)
+        log.close()
+        path = segment_files(tmp_path)[-1]
+        blob = bytearray(path.read_bytes())
+        blob[-2] ^= 0xFF  # flip a byte inside the final payload
+        path.write_bytes(bytes(blob))
+        reopened = open_log(tmp_path)
+        assert reopened.last_lsn == 2
+        # The next append reuses the truncated lsn.
+        assert reopened.append({"value": 3}).lsn == 3
+
+    def test_corruption_before_the_final_segment_refuses_to_open(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 6)
+        log.close()
+        first = segment_files(tmp_path)[0]
+        first.write_bytes(first.read_bytes()[:-3])
+        with pytest.raises(WALError, match="tear at the tail"):
+            open_log(tmp_path, segment_max_entries=2)
+
+    def test_missing_middle_segment_is_an_lsn_gap(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 6)
+        log.close()
+        segment_files(tmp_path)[1].unlink()
+        with pytest.raises(WALError, match="gap"):
+            open_log(tmp_path, segment_max_entries=2)
+
+
+class TestPrune:
+    def test_prune_deletes_only_fully_covered_segments(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 6)  # segments starting at 1, 3, 5
+        assert log.prune(up_to_lsn=3) == 1  # lsn 4 lives in segment 3
+        assert [p.name for p in log.segments()] == \
+            [f"wal-{lsn:016d}.log" for lsn in (3, 5)]
+        assert [e["lsn"] for e in log.replay(after_lsn=3)] == [4, 5, 6]
+
+    def test_prune_never_deletes_the_active_segment(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 6)
+        assert log.prune(up_to_lsn=100) == 2
+        assert len(log.segments()) == 1
+        assert log.last_lsn == 6
+
+    def test_reopen_after_prune_starts_mid_sequence(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 6)
+        log.prune(up_to_lsn=4)
+        log.close()
+        reopened = open_log(tmp_path, segment_max_entries=2)
+        assert reopened.last_lsn == 6
+        assert [e["lsn"] for e in reopened.replay()] == [5, 6]
+        assert reopened.append({"value": 7}).lsn == 7
+
+
+class TestStats:
+    def test_stats_track_segments_entries_and_bytes(self, tmp_path):
+        log = open_log(tmp_path, segment_max_entries=2)
+        fill(log, 5)
+        stats = log.stats()
+        assert stats["last_lsn"] == 5
+        assert stats["segments"] == 3
+        assert stats["entries"] == 5
+        assert stats["bytes"] == sum(p.stat().st_size
+                                     for p in segment_files(tmp_path))
+
+    def test_segment_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="segment_max_entries"):
+            WriteAheadLog(tmp_path, segment_max_entries=0)
