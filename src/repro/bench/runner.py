@@ -305,6 +305,92 @@ def _stage_serve_online(scale: ExperimentScale, seed: int) -> Dict[str, object]:
     }
 
 
+def _stage_serve_degraded(scale: ExperimentScale, seed: int) -> Dict[str, object]:
+    """Serving availability under a total scoring outage (Music-3K).
+
+    Ingests the corpus on a healthy service, records every probe's healthy
+    candidate-entity set, then arms a ``serve.score`` raise fault that fails
+    *every* scoring call and replays all queries through the outage.  The
+    circuit breaker trips after ``breaker_failure_threshold`` consecutive
+    failures and queries fall back to the index-only degraded ranking, so
+    the gate demands:
+
+    * ``availability`` ≥ 0.99 (enforced by :func:`find_regressions`) — the
+      fraction of outage queries that returned an answer instead of raising;
+    * ``degraded_parity`` exactly 1.0 — zero queries errored, and every
+      degraded answer's entities were a subset of the healthy run's
+      candidates for the same probe (the degraded path uses the same index
+      probes and filters, so it may lose score quality but never invents
+      candidates);
+    * ``breaker_tripped_parity`` exactly 1.0 — the outage actually opened
+      the breaker and :meth:`LinkageService.health` reported the breach
+      (``status == "breached"``) while queries kept answering.
+    """
+    from ..core.variants import create_variant
+    from ..infer.predictor import BatchedPredictor
+    from ..resilience import faults
+    from ..resilience.faults import FaultSpec
+    from ..serve import LinkageService, ServiceConfig, StoreConfig, replay_upserts
+
+    corpus = build_corpus("music3k", "artist", scale=scale, seed=seed)
+    scenario = build_scenario("music3k", "artist", mode="overlapping",
+                              scale=scale, seed=seed)
+    model = create_variant("adamel-hyb", scale.adamel_config(epochs=min(scale.adamel_epochs, 6)))
+    model.fit(scenario)
+    predictor = BatchedPredictor.from_trainer(model)
+
+    records = list(corpus.records)
+    np.random.default_rng(seed).shuffle(records)
+    service_config = ServiceConfig(max_batch_size=32, max_wait_ms=2.0,
+                                   breaker_failure_threshold=3)
+    with LinkageService(predictor, store_config=StoreConfig(),
+                        service_config=service_config) as service:
+        replay_upserts(service, records)
+        healthy: Dict[str, set] = {}
+        for record in records:
+            result = service.query(record, top_k=100)
+            healthy[record.record_id] = {match.entity_id
+                                         for match in result.matches}
+        answered = errored = degraded = 0
+        subset_ok = True
+        latencies: List[float] = []
+        with faults.plan_scope([FaultSpec(site="serve.score", kind="raise",
+                                          every=1)]):
+            outage_start = time.perf_counter()
+            for record in records:
+                try:
+                    result = service.query(record, top_k=100)
+                except Exception:
+                    errored += 1
+                    continue
+                answered += 1
+                latencies.append(result.seconds)
+                if result.degraded:
+                    degraded += 1
+                    entities = {match.entity_id for match in result.matches}
+                    if not entities <= healthy[record.record_id]:
+                        subset_ok = False
+            outage_seconds = time.perf_counter() - outage_start
+            health = service.health()
+        breaker = service.breaker.stats()
+
+    total = len(records)
+    breached = (float(breaker["opens"]) >= 1.0
+                and health["status"] == "breached")
+    return {
+        "num_records": float(total),
+        "availability": answered / max(total, 1),
+        "errored_queries": float(errored),
+        "degraded_queries": float(degraded),
+        "degraded_fraction": degraded / max(answered, 1),
+        "degraded_queries_per_second": answered / max(outage_seconds, 1e-9),
+        "breaker_opens": float(breaker["opens"]),
+        "degraded_parity": float(errored == 0 and subset_ok),
+        "breaker_tripped_parity": float(breached),
+        "degraded_query_latency_samples": latencies,
+    }
+
+
 def _stage_store_recovery(scale: ExperimentScale, seed: int) -> Dict[str, object]:
     """Durable-store recovery: snapshot + WAL-tail restore vs full replay.
 
@@ -805,6 +891,8 @@ STAGES: Tuple[BenchStage, ...] = (
                _stage_pipeline_sharded_1m),
     BenchStage("serve_online", "online linkage service latency (Music-3K)",
                _stage_serve_online),
+    BenchStage("serve_degraded", "serving availability under a scoring outage",
+               _stage_serve_degraded),
     BenchStage("store_recovery", "durable store: WAL-tail vs full-replay restore",
                _stage_store_recovery),
     BenchStage("obs_overhead", "telemetry overhead: serve + train, on vs off",
@@ -957,6 +1045,11 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
     the whole log, or compaction has stopped paying for itself.  Both
     timings come from the same process on the same directory tree, so no
     machine-ratio relaxation applies.
+    The ``serve_degraded`` stage additionally gates its ``availability``
+    against a ≥0.99 floor: during a total scoring outage queries must keep
+    answering (degraded, via the index-only fallback) instead of erroring —
+    its ``degraded_parity`` / ``breaker_tripped_parity`` flags ride the
+    generic ``_parity`` rule above.
     """
     problems: List[Tuple[Optional[str], str]] = []
     if current.get("scale") != baseline.get("scale"):
@@ -1016,6 +1109,18 @@ def find_regressions(current: Dict, baseline: Dict, tolerance: float = 0.25,
                 problems.append((name,
                     f"stage {name!r} sharded speedup is {float(speedup):.2f}x "
                     f"at 4 workers on {cpus:.0f} CPUs; the floor is 3.0x"
+                ))
+        if name == "serve_degraded":
+            availability = cur_entry.get("availability")
+            if availability is None:
+                problems.append((None,
+                    "stage 'serve_degraded' is missing 'availability'"))
+            elif float(availability) < 0.99:
+                problems.append((None,
+                    f"stage 'serve_degraded' availability under a scoring "
+                    f"outage is {float(availability):.4f}; the floor is 0.99 "
+                    f"(degraded answers, not errors — deterministic, no "
+                    f"re-run)"
                 ))
         if name == "store_recovery":
             speedup = cur_entry.get("restore_speedup")

@@ -43,7 +43,7 @@ from .metrics import (BoundHandles, Counter, DEFAULT_LATENCY_BUCKETS,
                       NOOP_INSTRUMENT, active_registry, counter, gauge,
                       histogram, set_active_registry, valid_metric_name)
 from .slo import (SLO, SLOConfig, SLOMonitor, default_service_objectives,
-                  format_health)
+                  format_health, worst_status)
 from .timeline import render_timeline, render_timelines, timeline_roots
 from .tracing import (NOOP_SPAN, Span, TraceCollector, active_collector,
                       current_span, detached_stack, set_active_collector,
@@ -66,7 +66,7 @@ __all__ = [
     "merge_payload",
     # slo
     "SLO", "SLOConfig", "SLOMonitor", "default_service_objectives",
-    "format_health",
+    "format_health", "worst_status",
     # timeline
     "render_timeline", "render_timelines", "timeline_roots",
     # lifecycle

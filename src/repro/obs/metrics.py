@@ -49,7 +49,8 @@ DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
 # The repo-wide naming convention, asserted by a lint test: a known subsystem
 # prefix, a descriptive middle, and a unit suffix.
 METRIC_SUBSYSTEMS = ("pipeline", "index", "serve", "store", "storage",
-                     "coalescer", "cache", "infer", "training", "bench", "obs")
+                     "coalescer", "cache", "infer", "training", "bench",
+                     "obs", "resilience")
 METRIC_UNITS = ("total", "seconds", "bytes", "pairs", "records", "entries",
                 "ratio", "count", "ops")
 METRIC_NAME_PATTERN = re.compile(

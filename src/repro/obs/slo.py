@@ -42,7 +42,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = ["SLO", "SLOConfig", "SLOMonitor", "default_service_objectives",
-           "format_health"]
+           "format_health", "worst_status"]
 
 SLO_KINDS = ("latency_quantile", "error_rate", "queue_saturation")
 
@@ -51,6 +51,23 @@ DEFAULT_WINDOWS: Tuple[float, float] = (60.0, 600.0)
 
 # Rank for folding per-objective statuses into one overall verdict.
 _STATUS_RANK = {"no_data": 0, "pass": 1, "burning": 2, "breached": 3}
+
+
+def worst_status(*statuses: str) -> str:
+    """Fold health statuses into the most severe one.
+
+    The severity order is ``no_data < pass < burning < breached`` — the
+    same ranking :meth:`SLOMonitor.health` uses across objectives.  Used by
+    reports that mix SLO verdicts with non-SLO signals (circuit-breaker
+    state, a read-only storage engine).
+    """
+    if not statuses:
+        return "no_data"
+    for status in statuses:
+        if status not in _STATUS_RANK:
+            raise ValueError(f"unknown health status {status!r} "
+                             f"(known: {', '.join(_STATUS_RANK)})")
+    return max(statuses, key=lambda status: _STATUS_RANK[status])
 
 
 @dataclass(frozen=True)

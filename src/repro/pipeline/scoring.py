@@ -18,6 +18,7 @@ import numpy as np
 
 from ..data.records import EntityPair
 from ..infer.predictor import BatchedPredictor
+from ..resilience import faults
 
 __all__ = ["ScoringStage", "ScoredCandidates"]
 
@@ -69,6 +70,7 @@ class ScoringStage:
         misses_before = cache.misses if cache is not None else 0
         chunks: List[np.ndarray] = []
         for _, probabilities in self.predictor.predict_proba_stream(pairs, self.chunk_size):
+            faults.check("scoring.batch", chunk=len(chunks))
             chunks.append(probabilities)
         scores = np.concatenate(chunks) if chunks else np.zeros(0)
         stats: Dict[str, float] = {

@@ -62,6 +62,8 @@ from .. import obs
 from ..data.blocking import ground_truth_pairs, possible_cross_source_pairs
 from ..data.records import EntityPair, Record
 from ..infer.predictor import BatchedPredictor
+from ..resilience import faults
+from ..resilience.retry import FaultReport, RetryPolicy, TaskExecutor
 from ..text.hashing import stable_hash
 from .candidates import CandidateResult
 from .clustering import ClusteringStage
@@ -105,6 +107,13 @@ class ShardConfig:
     buckets are split across shards.  If the balanced assignment still has a
     load Gini above ``rebalance_gini``, the router falls back to a full
     greedy repack (deterministic, load-descending).
+
+    ``retry`` governs fault tolerance around worker tasks: bounded pool
+    attempts with backoff, an optional per-attempt deadline, and in-process
+    fallback after exhaustion (see :class:`~repro.resilience.RetryPolicy`).
+    Because shard tasks are pure functions of forked state, any schedule of
+    retries/fallbacks that eventually succeeds yields output bit-identical
+    to a fault-free run.
     """
 
     workers: int = 4
@@ -113,6 +122,7 @@ class ShardConfig:
     min_split_pairs: int = 256
     rebalance_gini: float = 0.5
     sketch_chunk_size: int = 2048
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -136,6 +146,7 @@ class ShardConfig:
             "min_split_pairs": self.min_split_pairs,
             "rebalance_gini": self.rebalance_gini,
             "sketch_chunk_size": self.sketch_chunk_size,
+            "retry": self.retry.as_dict(),
         }
 
 
@@ -160,6 +171,7 @@ class ShardReport:
     shard_candidates: List[int] = field(default_factory=list)
     shard_emit_seconds: List[float] = field(default_factory=list)
     shard_score_seconds: List[float] = field(default_factory=list)
+    fault_report: FaultReport = field(default_factory=FaultReport)
 
     def as_dict(self) -> Dict[str, object]:
         """Flat JSON-friendly payload for bench records and ``stats.json``."""
@@ -181,6 +193,7 @@ class ShardReport:
             "shard_candidates": list(self.shard_candidates),
             "shard_emit_seconds": [round(s, 4) for s in self.shard_emit_seconds],
             "shard_score_seconds": [round(s, 4) for s in self.shard_score_seconds],
+            "faults": self.fault_report.as_dict(),
         }
 
 
@@ -386,6 +399,8 @@ def _sketch_slice(bounds: Tuple[int, int]) -> List[List[List[Hashable]]]:
     blocking cost, which is why Phase A parallelises over record slices.
     """
     start, end = bounds
+    if faults.check("sharded.sketch", start=start) == "partial":
+        return faults.partial_result(start=start)
     batch = _WORKER_STATE.records[start:end]
     return [index.bucket_keys_batch(batch) for index in _worker_indexes()]
 
@@ -402,9 +417,13 @@ def _score_shard(payload: Tuple[int, List[BucketTask]]) -> Dict[str, object]:
     metrics in — one observation site per shard per phase, whichever process
     ran it.
     """
+    shard_id = payload[0]
+    # Fault site ahead of the telemetry scope: a failed attempt ships no
+    # payload, so retries cannot double-observe the per-shard histograms.
+    if faults.check("sharded.score", shard=shard_id) == "partial":
+        return faults.partial_result(shard=shard_id)
     if not _WORKER_STATE.capture_telemetry:
         return _score_shard_impl(payload)
-    shard_id = payload[0]
     with obs.detached_stack(), obs.telemetry() as session:
         with obs.trace("sharded.worker", shard=shard_id):
             result = _score_shard_impl(payload)
@@ -571,14 +590,19 @@ class ShardedPipeline:
             capture_telemetry=obs.enabled(),
         )
         _WORKER_STATE, _WORKER_INDEXES = state, None
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            if use_processes:
-                # The pool must fork *after* the state global is populated.
-                pool = ProcessPoolExecutor(
+        pool_factory = None
+        if use_processes:
+            # The pool must fork *after* the state global is populated; the
+            # factory re-forks that same state whenever the executor
+            # replaces a pool lost to a worker death or deadline breach.
+            def pool_factory() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
                     max_workers=shard_config.workers,
-                    mp_context=multiprocessing.get_context("fork"))
-
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=faults.mark_worker_process)
+        executor = TaskExecutor(policy=shard_config.retry,
+                                pool_factory=pool_factory)
+        try:
             # Phase A: per-record bucket keys, then global bucket assembly.
             start = time.perf_counter()
             with obs.trace("sharded.sketch", records=len(record_list)):
@@ -586,10 +610,9 @@ class ShardedPipeline:
                                    len(record_list)))
                           for lo in range(0, len(record_list),
                                           shard_config.sketch_chunk_size)]
-                if pool is not None:
-                    sketched = list(pool.map(_sketch_slice, slices))
-                else:
-                    sketched = [_sketch_slice(bounds) for bounds in slices]
+                sketched = executor.run(
+                    _sketch_slice, slices,
+                    labels=[f"sketch-{lo}" for lo, _ in slices])
             caps = (config.lsh_max_bucket_size, config.max_postings,
                     config.initials_max_bucket_size)
             buckets: List[Dict[Hashable, List[int]]] = [{} for _ in caps]
@@ -616,7 +639,8 @@ class ShardedPipeline:
                 plan = router.plan(buckets, caps)
             report = plan.report
             report.workers = shard_config.workers
-            report.used_processes = pool is not None
+            report.used_processes = use_processes
+            report.fault_report = executor.report
             routing_seconds = time.perf_counter() - start
 
             # Phase B: emit + score per shard.
@@ -624,10 +648,9 @@ class ShardedPipeline:
             payloads = [(shard_id, tasks)
                         for shard_id, tasks in enumerate(plan.tasks) if tasks]
             with obs.trace("sharded.score", shards=len(payloads)) as score_span:
-                if pool is not None:
-                    shard_results = list(pool.map(_score_shard, payloads))
-                else:
-                    shard_results = [_score_shard(payload) for payload in payloads]
+                shard_results = executor.run(
+                    _score_shard, payloads,
+                    labels=[f"shard-{shard_id}" for shard_id, _ in payloads])
                 # Fold each worker's shipped telemetry into the live session:
                 # metrics merge under the snapshot algebra, span trees re-root
                 # under this score span tagged with their shard id.
@@ -639,8 +662,7 @@ class ShardedPipeline:
                                           shard=shard_result["shard"])
             phase_b_seconds = time.perf_counter() - start
         finally:
-            if pool is not None:
-                pool.shutdown()
+            executor.shutdown()
             _WORKER_STATE, _WORKER_INDEXES = None, None
 
         # Stage attribution: the emit critical path counts as "pair", the

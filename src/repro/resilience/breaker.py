@@ -1,0 +1,192 @@
+"""Circuit breaker: stop hammering a failing dependency, probe for recovery.
+
+The serving layer wraps its scoring path (coalescer + model executor) in a
+:class:`CircuitBreaker` so a wedged or erroring model degrades queries
+instead of stalling every caller for its full timeout:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker;
+* **open** — requests are refused immediately (:class:`CircuitOpen`) until
+  ``recovery_seconds`` have passed;
+* **half-open** — up to ``half_open_probes`` concurrent requests are let
+  through as probes; one success closes the breaker, one failure re-opens
+  it for another full recovery window.
+
+State transitions are recorded as ``resilience_*`` metrics and reported to
+an optional ``on_transition`` listener (outside the lock), which the
+service uses to surface breaker flips in its health report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .. import obs
+
+__all__ = ["CircuitBreaker", "CircuitOpen", "BREAKER_STATES"]
+
+BREAKER_STATES = ("closed", "half_open", "open")
+_STATE_GAUGE = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitOpen(RuntimeError):
+    """The breaker refused the call (open, or half-open probes exhausted)."""
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open state machine.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    Callers bracket the protected operation with :meth:`allow` and
+    :meth:`record_success` / :meth:`record_failure`::
+
+        if not breaker.allow():
+            raise CircuitOpen("scoring path open")
+        try:
+            result = protected_call()
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 recovery_seconds: float = 30.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[Callable[[str, str], None]] = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, "
+                             f"got {failure_threshold}")
+        if recovery_seconds < 0:
+            raise ValueError(f"recovery_seconds must be >= 0, "
+                             f"got {recovery_seconds}")
+        if half_open_probes < 1:
+            raise ValueError(f"half_open_probes must be >= 1, "
+                             f"got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_probes = half_open_probes
+        self.on_transition = on_transition
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        # Lifetime counters (under the lock).
+        self._successes = 0
+        self._failures = 0
+        self._opens = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when recovery elapsed."""
+        with self._lock:
+            return self._advance()
+
+    def allow(self) -> bool:
+        """Whether a request may proceed (consumes a probe slot half-open)."""
+        with self._lock:
+            state = self._advance()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        transition = None
+        with self._lock:
+            self._successes += 1
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+                transition = self._transition("closed")
+        self._notify(transition)
+
+    def record_failure(self) -> None:
+        transition = None
+        with self._lock:
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self._state == "half_open":
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+                transition = self._open()
+            elif (self._state == "closed"
+                  and self._consecutive_failures >= self.failure_threshold):
+                transition = self._open()
+        self._notify(transition)
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (chaos benches and drills)."""
+        with self._lock:
+            transition = self._open() if self._state != "open" else None
+        self._notify(transition)
+
+    def reset(self) -> None:
+        """Force-close and forget consecutive failures (operator override)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+            transition = (self._transition("closed")
+                          if self._state != "closed" else None)
+        self._notify(transition)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            state = self._advance()
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_seconds": self.recovery_seconds,
+                "successes": self._successes,
+                "failures": self._failures,
+                "opens": self._opens,
+                "seconds_open": (self._clock() - self._opened_at
+                                 if state == "open" else 0.0),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Internal (call under the lock)
+    # ------------------------------------------------------------------ #
+    def _advance(self) -> str:
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.recovery_seconds):
+            self._probes_in_flight = 0
+            # A time-driven flip has no natural "after the lock" seam for
+            # the listener; metrics are still emitted by _transition, and
+            # the listener is for request-driven flips the service logs.
+            self._transition("half_open")
+        return self._state
+
+    def _open(self):
+        self._opened_at = self._clock()
+        self._opens += 1
+        return self._transition("open")
+
+    def _transition(self, new_state: str):
+        old_state, self._state = self._state, new_state
+        obs.counter("resilience_breaker_transitions_total",
+                    "Circuit-breaker state changes",
+                    {"from": old_state, "to": new_state}).inc()
+        obs.gauge("resilience_breaker_state_count",
+                  "Breaker state (0 closed, 1 half-open, 2 open)").set(
+            _STATE_GAUGE[new_state])
+        return (old_state, new_state)
+
+    def _notify(self, transition) -> None:
+        if transition is not None and self.on_transition is not None:
+            self.on_transition(*transition)
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failure_threshold={self.failure_threshold}, "
+                f"recovery_seconds={self.recovery_seconds})")

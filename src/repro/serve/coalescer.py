@@ -45,6 +45,7 @@ class _CoalescerInstruments(NamedTuple):
     high_watermark: object
     wait_seconds: object
     batch_pairs: object
+    restarts: object
 
 
 def _bind_coalescer_instruments(registry) -> _CoalescerInstruments:
@@ -68,6 +69,8 @@ def _bind_coalescer_instruments(registry) -> _CoalescerInstruments:
         batch_pairs=registry.histogram("coalescer_batch_pairs",
                                        "Fused pairs per executed batch",
                                        buckets=DEFAULT_SIZE_BUCKETS),
+        restarts=registry.counter("coalescer_executor_restarts_total",
+                                  "Executor threads respawned after a crash"),
     )
 
 
@@ -173,6 +176,7 @@ class RequestCoalescer:
         self.size_flushes = 0
         self.deadline_flushes = 0
         self.rejected = 0
+        self.executor_restarts = 0
         self._batch_sizes_sum = 0
         self.queue_sample_fn = queue_sample_fn
         self._obs = BoundHandles(_bind_coalescer_instruments)
@@ -201,6 +205,12 @@ class RequestCoalescer:
         spawn a second executor while the old one lives, because two threads
         would then call the non-thread-safe model concurrently.  Retry
         ``stop()`` to wait again.
+
+        Requests still *queued* at that point are failed promptly with
+        :class:`CoalescerClosed` — a wedged executor will not get to them,
+        and their clients should not sit out their full result timeouts to
+        learn that.  The in-flight batch is left to the executor: its
+        clients get real scores (or the score error) whenever it returns.
         """
         with self._condition:
             if not self._running:
@@ -211,6 +221,16 @@ class RequestCoalescer:
         assert thread is not None
         thread.join(timeout)
         if thread.is_alive():
+            with self._condition:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                self._queued_pairs = 0
+                self._condition.notify_all()  # submitters blocked on room
+            failure = CoalescerClosed(
+                "the coalescer is stopping and its executor is wedged; "
+                "this queued request will never be scored")
+            for request in abandoned:
+                request.pending._fail(failure)
             raise TimeoutError(
                 f"coalescer executor still running after {timeout}s "
                 f"(score_fn in flight?); retry stop() to keep waiting")
@@ -312,6 +332,7 @@ class RequestCoalescer:
                 "size_flushes": float(self.size_flushes),
                 "deadline_flushes": float(self.deadline_flushes),
                 "rejected": float(self.rejected),
+                "executor_restarts": float(self.executor_restarts),
                 "queued_pairs": float(self._queued_pairs),
                 "mean_batch_pairs": (self._batch_sizes_sum / self.batches
                                      if self.batches else 0.0),
@@ -324,10 +345,54 @@ class RequestCoalescer:
     # ------------------------------------------------------------------ #
     def _run(self) -> None:
         while True:
-            batch, cause = self._next_batch()
-            if batch is None:
+            batch = None
+            try:
+                batch, cause = self._next_batch()
+                if batch is None:
+                    return
+                self._execute(batch, cause)
+            except BaseException as error:
+                # ``_execute`` already absorbs score_fn errors per batch;
+                # anything reaching here is a bug in the executor machinery
+                # itself.  Dying silently would leave every waiter hanging.
+                self._on_executor_crash(batch, error)
                 return
-            self._execute(batch, cause)
+
+    def _on_executor_crash(self, batch: Optional[List["_QueuedRequest"]],
+                           error: BaseException) -> None:
+        """Contain an executor-thread crash: fail its batch, respawn.
+
+        The in-flight batch is failed with the crash (those clients'
+        requests may genuinely have caused it); while the coalescer is
+        running a replacement executor is spawned to pick the *queued*
+        requests up, so one poisoned batch does not take the service's
+        scoring path down.  During shutdown there is no respawn — the queue
+        is drained and failed instead.
+        """
+        with self._condition:
+            restart = self._running and not self._stopping
+            abandoned: List[_QueuedRequest] = []
+            if restart:
+                self.executor_restarts += 1
+                self._thread = threading.Thread(target=self._run,
+                                                name="repro-coalescer",
+                                                daemon=True)
+                self._thread.start()
+            else:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                self._queued_pairs = 0
+            self._condition.notify_all()
+        instruments = self._obs.get()
+        if instruments is not None and restart:
+            instruments.restarts.inc()
+        failure = CoalescerClosed(f"coalescer executor crashed: {error!r}")
+        failure.__cause__ = error
+        for request in (batch or []):
+            if not request.pending.done():
+                request.pending._fail(failure)
+        for request in abandoned:
+            request.pending._fail(failure)
 
     def _next_batch(self) -> tuple:
         """Wait for a size or deadline trigger and drain one batch.

@@ -18,6 +18,7 @@ many threads coalesce into deadline-bounded batches.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -29,7 +30,10 @@ if TYPE_CHECKING:  # layering: repro.storage sits above repro.serve
 from .. import obs
 from ..data.records import Record
 from ..infer.predictor import BatchedPredictor
-from ..obs.slo import SLOConfig, SLOMonitor, default_service_objectives
+from ..obs.slo import (SLOConfig, SLOMonitor, default_service_objectives,
+                       worst_status)
+from ..resilience import faults
+from ..resilience.breaker import CircuitBreaker, CircuitOpen
 from .coalescer import RequestCoalescer
 from .store import EntityStore, QueryMatch, StoreConfig
 
@@ -38,13 +42,22 @@ __all__ = ["LinkageService", "ServiceConfig", "UpsertResult", "QueryResult"]
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Coalescing and ranking knobs of the service."""
+    """Coalescing, ranking and degradation knobs of the service.
+
+    ``breaker_failure_threshold`` consecutive scoring failures open the
+    circuit breaker around the coalescer/model executor; while it is open
+    (and for failed half-open probes after ``breaker_recovery_seconds``),
+    queries fall back to index-only degraded answers and upserts fail fast
+    with :class:`~repro.resilience.CircuitOpen` — see ``docs/resilience.md``.
+    """
 
     max_batch_size: int = 64
     max_wait_ms: float = 5.0
     max_queue_size: int = 4096
     top_k: int = 5
     request_timeout: Optional[float] = 30.0
+    breaker_failure_threshold: int = 5
+    breaker_recovery_seconds: float = 30.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -53,6 +66,8 @@ class ServiceConfig:
             "max_queue_size": self.max_queue_size,
             "top_k": self.top_k,
             "request_timeout": self.request_timeout,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_recovery_seconds": self.breaker_recovery_seconds,
         }
 
 
@@ -67,10 +82,16 @@ class UpsertResult:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Outcome of one online query."""
+    """Outcome of one online query.
+
+    ``degraded=True`` marks an answer produced by the index-only fallback
+    (:meth:`EntityStore.query_degraded`) while the scoring path was
+    unavailable — its scores are collision counts, not probabilities.
+    """
 
     matches: List[QueryMatch]
     seconds: float
+    degraded: bool = False
 
     @property
     def best(self) -> Optional[QueryMatch]:
@@ -133,18 +154,72 @@ class LinkageService:
         else:
             self.store = store if store is not None else EntityStore(config=store_config)
         self.store.bind_score_fn(self._score, upsert_score_fn=self._score_upsert)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_seconds=self.config.breaker_recovery_seconds)
+        self._degraded_queries = 0
+        self._deadline = threading.local()
         self._started_at: Optional[float] = None
 
     def _score(self, pairs):
-        return self.coalescer.score(pairs, timeout=self.config.request_timeout)
+        return self._score_guarded(pairs, max_wait=None)
 
     def _score_upsert(self, pairs):
         # Upserts are serialized on the store lock, so waiting out the
         # coalescer deadline for co-riders would only cap ingest throughput
         # (and stall queries behind the lock): ask for an immediate flush —
         # still fused with any queries already queued.
-        return self.coalescer.score(pairs, timeout=self.config.request_timeout,
-                                    max_wait=0.0)
+        return self._score_guarded(pairs, max_wait=0.0)
+
+    def _score_guarded(self, pairs, max_wait: Optional[float]):
+        """The one gate onto the scoring path: breaker around the coalescer.
+
+        Every model-backed scoring call (queries and upserts alike) passes
+        through here, so ``breaker_failure_threshold`` consecutive scoring
+        errors — wherever they originate — trip the breaker, and the first
+        successful half-open probe closes it again.
+        """
+        if not self.breaker.allow():
+            raise CircuitOpen("serving scoring path is open "
+                              "(circuit breaker tripped)")
+        try:
+            faults.check("serve.score", pairs=len(pairs))
+            kwargs = {} if max_wait is None else {"max_wait": max_wait}
+            scores = self.coalescer.score(pairs, timeout=self._remaining(),
+                                          **kwargs)
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Deadline propagation (thread-local: requests run on caller threads)
+    # ------------------------------------------------------------------ #
+    def _set_deadline(self, timeout: Optional[float]) -> None:
+        self._deadline.until = (time.monotonic() + timeout
+                                if timeout is not None else None)
+
+    def _clear_deadline(self) -> None:
+        self._deadline.until = None
+
+    def _remaining(self) -> Optional[float]:
+        """Seconds the current request may still spend waiting on scores.
+
+        The minimum of the per-request deadline (set by ``query``/``upsert``
+        ``timeout=``) and the service-wide ``request_timeout``; raises
+        ``TimeoutError`` when the request's budget is already exhausted, so
+        a late request fails before queueing pairs it can never collect.
+        """
+        until = getattr(self._deadline, "until", None)
+        if until is None:
+            return self.config.request_timeout
+        remaining = until - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError("request deadline exhausted before scoring")
+        if self.config.request_timeout is None:
+            return remaining
+        return min(remaining, self.config.request_timeout)
 
     # ------------------------------------------------------------------ #
     # SLO recording (always on; a custom catalog may drop objectives, so
@@ -184,9 +259,19 @@ class LinkageService:
     # ------------------------------------------------------------------ #
     # Request handlers
     # ------------------------------------------------------------------ #
-    def upsert(self, record: Record) -> UpsertResult:
-        """Link one record online; returns its entity id and latency."""
+    def upsert(self, record: Record,
+               timeout: Optional[float] = None) -> UpsertResult:
+        """Link one record online; returns its entity id and latency.
+
+        ``timeout`` bounds the whole request: the remaining budget is
+        propagated to the scoring wait inside the store's upsert.  An upsert
+        cannot degrade — committing a record without model scores would
+        corrupt the store — so an open breaker (:class:`CircuitOpen`) or a
+        read-only storage engine (:class:`~repro.storage.StorageReadOnly`)
+        propagates to the caller as a fast failure.
+        """
         start = time.perf_counter()
+        self._set_deadline(timeout)
         try:
             with obs.trace("serve.upsert", record_id=record.record_id) as span:
                 entity_id = (self.storage.upsert(record)
@@ -197,26 +282,49 @@ class LinkageService:
             self._record_request("serve_upsert_latency",
                                  time.perf_counter() - start, ok=False)
             raise
+        finally:
+            self._clear_deadline()
         seconds = time.perf_counter() - start
         self._record_request("serve_upsert_latency", seconds, ok=True)
         return UpsertResult(record_id=record.record_id, entity_id=entity_id,
                             seconds=seconds)
 
-    def query(self, record: Record, top_k: Optional[int] = None) -> QueryResult:
-        """Rank stored entities for a probe record; returns matches + latency."""
+    def query(self, record: Record, top_k: Optional[int] = None,
+              timeout: Optional[float] = None) -> QueryResult:
+        """Rank stored entities for a probe record; returns matches + latency.
+
+        When the scoring path fails (breaker open, executor dead, deadline
+        exhausted), the query does not error: it falls back to the store's
+        index-only ranking and returns ``degraded=True`` — availability over
+        score quality, with the degradation visible in the result, the
+        ``resilience_degraded_queries_total`` counter and :meth:`health`.
+        """
         start = time.perf_counter()
+        k = self.config.top_k if top_k is None else top_k
+        self._set_deadline(timeout)
+        degraded = False
         try:
             with obs.trace("serve.query", record_id=record.record_id) as span:
-                matches = self.store.query(
-                    record, top_k=self.config.top_k if top_k is None else top_k)
+                try:
+                    matches = self.store.query(record, top_k=k)
+                except Exception:
+                    matches = self.store.query_degraded(record, top_k=k)
+                    degraded = True
+                    self._degraded_queries += 1
+                    obs.counter("resilience_degraded_queries_total",
+                                "Queries answered from index probes alone"
+                                ).inc()
                 span.set("matches", len(matches))
+                span.set("degraded", degraded)
         except BaseException:
             self._record_request("serve_query_latency",
                                  time.perf_counter() - start, ok=False)
             raise
+        finally:
+            self._clear_deadline()
         seconds = time.perf_counter() - start
         self._record_request("serve_query_latency", seconds, ok=True)
-        return QueryResult(matches=matches, seconds=seconds)
+        return QueryResult(matches=matches, seconds=seconds, degraded=degraded)
 
     def snapshot(self, path: Optional[Union[str, Path]] = None) -> Path:
         """Persist the store.
@@ -238,10 +346,31 @@ class LinkageService:
         """Evaluate every SLO; ``status`` is the worst objective's verdict.
 
         See :meth:`repro.obs.slo.SLOMonitor.health` for the shape — this
-        adds the service's uptime, so the report is self-contained for
-        ``python -m repro.serve --health``.
+        adds the service's uptime and a ``resilience`` section (breaker
+        state, degraded-query count, storage writability), folding the
+        degradation signals into ``status``: an open breaker or a read-only
+        storage engine reports ``breached`` even while every latency SLO
+        passes — the service is up, but not delivering full answers.
         """
         report = self.slo.health()
+        breaker = self.breaker.stats()
+        storage_read_only = bool(self.storage is not None
+                                 and self.storage.read_only)
+        report["resilience"] = {
+            "breaker": breaker,
+            "degraded_queries": self._degraded_queries,
+            "storage_read_only": storage_read_only,
+        }
+        # Neutral is "no_data", not "pass": a healthy breaker must never
+        # lift a no-traffic report's overall verdict.
+        if breaker["state"] == "open" or storage_read_only:
+            resilience_status = "breached"
+        elif breaker["state"] == "half_open":
+            resilience_status = "burning"
+        else:
+            resilience_status = "no_data"
+        report["status"] = worst_status(str(report["status"]),
+                                        resilience_status)
         report["uptime_seconds"] = (time.monotonic() - self._started_at
                                     if self._started_at is not None else 0.0)
         return report
@@ -253,7 +382,8 @@ class LinkageService:
         service = {"uptime_seconds": uptime,
                    "max_batch_size": float(self.config.max_batch_size),
                    "max_wait_ms": float(self.config.max_wait_ms),
-                   "max_queue_size": float(self.config.max_queue_size)}
+                   "max_queue_size": float(self.config.max_queue_size),
+                   "degraded_queries": float(self._degraded_queries)}
         report = {
             "service": service,
             "store": self.store.stats(),

@@ -662,6 +662,50 @@ class EntityStore:
         self._record_query(started)
         return ranked[:top_k]
 
+    def query_degraded(self, record: Record, top_k: int = 10) -> List[QueryMatch]:
+        """Rank entities from index probes alone — no model, no coalescer.
+
+        The degraded fallback the serving layer uses while its scoring path
+        is unavailable (circuit breaker open, executor dead): the probe and
+        the candidate filters are *exactly* those of :meth:`query`, so every
+        entity returned here is one the healthy path would have scored — the
+        degraded answer is a re-ranking of a subset of the healthy
+        candidate set, never an invention.  ``score`` is the number of
+        blocking indexes the probe collides with the entity's best member
+        in (evidence strength, an integer in ``[1, num_indexes]``) — NOT a
+        calibrated matching probability.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        started = time.perf_counter()
+        probe_keys = [index.bucket_keys(record) for index in self._indexes]
+        with self._lock:
+            collisions: Dict[int, int] = {}
+            for index, keys in zip(self._indexes, probe_keys):
+                for position in index.probe_keys(keys):
+                    collisions[position] = collisions.get(position, 0) + 1
+            best: Dict[str, QueryMatch] = {}
+            for position in sorted(collisions):
+                stored = self._records[position]
+                if (stored.record_id == record.record_id
+                        or not self._is_probe_candidate(record, position)):
+                    continue
+                entity_id = self._entity_of.get(position)
+                if entity_id is None:
+                    continue
+                count = collisions[position]
+                current = best.get(entity_id)
+                if current is None or count > current.score:
+                    best[entity_id] = QueryMatch(
+                        entity_id=entity_id, score=float(count),
+                        record_id=stored.record_id,
+                        size=len(self._members[entity_id]))
+            self.counters.queries += 1
+        ranked = sorted(best.values(),
+                        key=lambda match: (-match.score, match.entity_id))
+        self._record_query(started)
+        return ranked[:top_k]
+
     def _record_query(self, started: float) -> None:
         instruments = self._obs.get()
         if instruments is not None:

@@ -1,28 +1,23 @@
-"""Injected crash points for property-testing durability.
+"""Storage crash points — a thin shim over :mod:`repro.resilience.faults`.
 
-The storage engine calls :func:`maybe_crash` at every point where a real
-process could die between a WAL append and the corresponding in-memory
-commit (or between a snapshot write and its rename).  In production the
-calls are no-ops; a test harness arms one point through environment
-variables, runs the workload in a subprocess, and the process dies with
-``os._exit`` — no ``atexit`` hooks, no flushing, no unwinding — exactly
-like a power cut at that instruction.
+This module pioneered injected-crash durability testing for the storage
+engine; the mechanism has since been generalized into the cross-subsystem
+fault registry.  The public surface here is kept verbatim (names, env
+contract, exit code) so existing harnesses keep working, but every call now
+delegates to the registry: a storage point ``p`` is the fault site
+``storage.p``, and the legacy ``REPRO_STORAGE_CRASH_POINT`` /
+``REPRO_STORAGE_CRASH_HITS`` environment variables are translated by the
+registry into an equivalent ``kill`` spec.
 
-Environment contract (read per call, so a parent can arm a child through
-``subprocess`` env):
-
-* ``REPRO_STORAGE_CRASH_POINT`` — the crash-point name to die at;
-* ``REPRO_STORAGE_CRASH_HITS`` — die on the N-th hit of that point
-  (default 1), so a harness can survive the first k upserts and kill
-  the (k+1)-th.
-
-The process exits with :data:`CRASH_EXIT_CODE` so the harness can tell an
-injected crash from an ordinary failure.
+New code should arm :class:`repro.resilience.FaultSpec` entries directly —
+that unlocks the other fault kinds (``raise``/``delay``/``partial``) at the
+same storage sites, e.g. a ``raise`` at ``storage.wal_append`` to drive the
+engine's read-only degradation instead of killing the process.
 """
 
 from __future__ import annotations
 
-import os
+from ..resilience import faults
 
 __all__ = ["CRASH_POINTS", "CRASH_EXIT_CODE", "CRASH_POINT_ENV",
            "CRASH_HITS_ENV", "armed", "maybe_crash", "reset_hits"]
@@ -38,33 +33,31 @@ CRASH_POINTS = (
 )
 
 #: Exit status of an injected crash (distinct from any pytest/python code).
-CRASH_EXIT_CODE = 86
+CRASH_EXIT_CODE = faults.KILL_EXIT_CODE
 
 CRASH_POINT_ENV = "REPRO_STORAGE_CRASH_POINT"
 CRASH_HITS_ENV = "REPRO_STORAGE_CRASH_HITS"
 
-_hits: dict = {}
-
 
 def reset_hits() -> None:
     """Forget hit counts (tests that arm points in-process between runs)."""
-    _hits.clear()
+    faults.reset_hits()
 
 
 def armed(point: str) -> bool:
-    """Whether ``point`` is the armed crash point of this process."""
-    return os.environ.get(CRASH_POINT_ENV) == point
+    """Whether any active fault targets ``point`` in this process.
+
+    Call sites use this to pay a preparation cost only while armed — the
+    WAL flushes its entry header before the mid-append hook precisely so
+    an injected death there leaves a *real* torn entry.
+    """
+    return faults.armed(f"storage.{point}")
 
 
 def maybe_crash(point: str) -> None:
-    """Die with ``os._exit(CRASH_EXIT_CODE)`` if ``point`` is armed and its
-    hit count has been reached; otherwise do nothing."""
+    """Run whatever fault is armed at ``point`` (historically only ``kill``:
+    die with ``os._exit(CRASH_EXIT_CODE)``); a no-op when nothing is armed."""
     if point not in CRASH_POINTS:
         raise ValueError(f"unknown crash point {point!r} "
                          f"(known: {', '.join(CRASH_POINTS)})")
-    if not armed(point):
-        return
-    _hits[point] = _hits.get(point, 0) + 1
-    target = int(os.environ.get(CRASH_HITS_ENV, "1"))
-    if _hits[point] >= target:
-        os._exit(CRASH_EXIT_CODE)
+    faults.check(f"storage.{point}")

@@ -41,21 +41,22 @@ import numpy as np
 from .. import obs
 from ..data.records import Record
 from ..obs import BoundHandles
+from ..resilience import faults
+from ..resilience.faults import FaultInjected
 from ..serve.store import EntityStore, ScoreFn, StoreConfig
 from . import crashpoints
+from .errors import StorageError, StorageLocked, StorageReadOnly
+from .locks import DirectoryLock
 from .snapshots import SnapshotManager
-from .wal import WriteAheadLog
+from .wal import WALError, WriteAheadLog
 
-__all__ = ["Storage", "StorageConfig", "StorageError", "RecoveryReport",
+__all__ = ["Storage", "StorageConfig", "StorageError", "StorageLocked",
+           "StorageReadOnly", "RecoveryReport",
            "STORAGE_FORMAT_VERSION", "META_FILENAME"]
 
 STORAGE_FORMAT_VERSION = 1
 META_FILENAME = "storage_meta.json"
 _MAX_FSYNC_SAMPLES = 65536
-
-
-class StorageError(RuntimeError):
-    """The data directory and the code disagree about recovery state."""
 
 
 @dataclass(frozen=True)
@@ -128,28 +129,40 @@ class Storage:
                  store_config: Optional[StoreConfig] = None,
                  config: Optional[StorageConfig] = None,
                  _wal: Optional[WriteAheadLog] = None,
-                 _snapshot_lsn: int = 0) -> None:
+                 _snapshot_lsn: int = 0,
+                 _lock: Optional[DirectoryLock] = None) -> None:
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
-        self.config = config or StorageConfig()
-        if store is None:
-            store_config = store_config or self._meta_store_config() or StoreConfig()
-            store = EntityStore(score_fn=score_fn, config=store_config)
-        self._store = store
-        self._write_meta_if_absent()
-        self._wal = _wal if _wal is not None else WriteAheadLog(
-            self.data_dir, fsync=self.config.fsync,
-            segment_max_entries=self.config.wal_segment_max_entries)
-        if _wal is None and self._wal.last_lsn != len(store):
-            raise StorageError(
-                f"data dir {self.data_dir} holds a WAL at lsn "
-                f"{self._wal.last_lsn} but the store has {len(store)} "
-                f"records; use Storage.recover() (or Storage.open())")
+        # One live engine per directory: two writers appending to the same
+        # WAL segment would interleave entries.  ``recover`` passes the
+        # lock it already took; a direct construction takes it here.
+        self._lock = _lock if _lock is not None else DirectoryLock.acquire(
+            self.data_dir)
+        try:
+            self.config = config or StorageConfig()
+            if store is None:
+                store_config = (store_config or self._meta_store_config()
+                                or StoreConfig())
+                store = EntityStore(score_fn=score_fn, config=store_config)
+            self._store = store
+            self._write_meta_if_absent()
+            self._wal = _wal if _wal is not None else WriteAheadLog(
+                self.data_dir, fsync=self.config.fsync,
+                segment_max_entries=self.config.wal_segment_max_entries)
+            if _wal is None and self._wal.last_lsn != len(store):
+                raise StorageError(
+                    f"data dir {self.data_dir} holds a WAL at lsn "
+                    f"{self._wal.last_lsn} but the store has {len(store)} "
+                    f"records; use Storage.recover() (or Storage.open())")
+        except BaseException:
+            self._lock.release()
+            raise
         self._snapshots = SnapshotManager(self.data_dir,
                                           keep=self.config.snapshots_keep)
         self._snapshot_lsn = _snapshot_lsn
         self._obs = BoundHandles(_bind_storage_instruments)
         self._fsync_samples: List[float] = []
+        self._read_only = False
         #: Optional per-append callback with the fsync latency (seconds);
         #: the serve layer points this at its SLO monitor.
         self.fsync_listener: Optional[Callable[[float], None]] = None
@@ -166,6 +179,11 @@ class Storage:
     @property
     def wal(self) -> WriteAheadLog:
         return self._wal
+
+    @property
+    def read_only(self) -> bool:
+        """True after a WAL append failure: writes refused, reads serving."""
+        return self._read_only
 
     @property
     def snapshots(self) -> SnapshotManager:
@@ -201,6 +219,11 @@ class Storage:
     def upsert(self, record: Record) -> str:
         """Upsert through the store (WAL entry first, via the commit hook),
         then take an automatic snapshot when the cadence says so."""
+        if self._read_only:
+            raise StorageReadOnly(
+                f"storage at {self.data_dir} is read-only after a WAL "
+                f"append failure; reads still serve — reopen via "
+                f"Storage.recover() once the log is writable again")
         entity_id = self._store.upsert(record)
         crashpoints.maybe_crash("after_commit")
         every = self.config.snapshot_every
@@ -218,11 +241,25 @@ class Storage:
         replay.
         """
         crashpoints.maybe_crash("before_wal_append")
-        result = self._wal.append({
-            "record": record.to_dict(),
-            "scores": pair_scores,
-            "retracted": [list(members) for members in retracted],
-        })
+        try:
+            faults.check("storage.wal_append")
+            result = self._wal.append({
+                "record": record.to_dict(),
+                "scores": pair_scores,
+                "retracted": [list(members) for members in retracted],
+            })
+        except (OSError, WALError, FaultInjected) as error:
+            # The durable log can no longer be trusted to stay ahead of
+            # memory.  The hook runs before any mutation, so the store is
+            # still exactly the committed prefix — flip to read-only and
+            # fail this upsert; reads keep serving that prefix.
+            self._read_only = True
+            obs.counter("storage_read_only_total",
+                        "Engines flipped read-only by a WAL append failure"
+                        ).inc()
+            raise StorageReadOnly(
+                f"WAL append failed at {self.data_dir} ({error}); storage "
+                f"is now read-only") from error
         instruments = self._obs.get()
         if instruments is not None:
             instruments.wal_appends.inc()
@@ -290,6 +327,21 @@ class Storage:
         config = config or StorageConfig()
         data_dir = Path(data_dir)
         started = time.perf_counter()
+        # Take the directory lock before reading anything: recovery must
+        # not race a live engine still appending to the log it replays.
+        lock = DirectoryLock.acquire(data_dir)
+        try:
+            return cls._recover_locked(data_dir, lock, score_fn,
+                                       store_config, config, started)
+        except BaseException:
+            lock.release()
+            raise
+
+    @classmethod
+    def _recover_locked(cls, data_dir: Path, lock: DirectoryLock,
+                        score_fn: Optional[ScoreFn],
+                        store_config: Optional[StoreConfig],
+                        config: StorageConfig, started: float) -> "Storage":
         with obs.trace("storage.recover"):
             snapshots = SnapshotManager(data_dir, keep=config.snapshots_keep)
             snapshots.cleanup()
@@ -318,7 +370,7 @@ class Storage:
             store.set_commit_hook(None)
             store.bind_score_fn(score_fn)  # type: ignore[arg-type]
             storage = cls(data_dir, store=store, config=config,
-                          _wal=wal, _snapshot_lsn=snapshot_lsn)
+                          _wal=wal, _snapshot_lsn=snapshot_lsn, _lock=lock)
         elapsed = time.perf_counter() - started
         storage.last_recovery = RecoveryReport(
             snapshot_lsn=snapshot_lsn, replayed_entries=replayed,
@@ -402,11 +454,13 @@ class Storage:
             "snapshot_lsn": float(self._snapshot_lsn),
             "wal_tail_entries": float(wal_stats["last_lsn"]
                                       - self._snapshot_lsn),
+            "read_only": float(self._read_only),
         }
 
     def close(self) -> None:
         self._store.set_commit_hook(None)
         self._wal.close()
+        self._lock.release()
 
     def __enter__(self) -> "Storage":
         return self

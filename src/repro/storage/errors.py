@@ -1,0 +1,32 @@
+"""Storage exception hierarchy (its own module to avoid layering cycles:
+the lock helper raises :class:`StorageLocked` and the engine imports the
+lock helper, so neither can own the base class)."""
+
+from __future__ import annotations
+
+__all__ = ["StorageError", "StorageLocked", "StorageReadOnly"]
+
+
+class StorageError(RuntimeError):
+    """The data directory and the code disagree about recovery state."""
+
+
+class StorageLocked(StorageError):
+    """Another live :class:`Storage` instance holds the data directory.
+
+    Two engines appending to the same WAL segment would interleave entries
+    and corrupt the log; the advisory directory lock turns that silent
+    corruption into this loud refusal at open time.
+    """
+
+
+class StorageReadOnly(StorageError):
+    """A WAL append failed; the engine rejects writes, reads keep serving.
+
+    Once an append errors the durable log can no longer be trusted to stay
+    ahead of memory, so the engine fails the triggering upsert with the
+    store untouched (the commit hook runs before any mutation) and refuses
+    further writes.  Reads are unaffected — the in-memory state is still
+    exactly the committed prefix.  Recovery: fix the disk, reopen via
+    :meth:`Storage.recover`.
+    """

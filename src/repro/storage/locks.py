@@ -1,0 +1,120 @@
+"""Advisory data-directory lock: one live engine per directory.
+
+``flock`` where available (POSIX): the lock dies with the process — even an
+``os._exit`` crash (or SIGKILL) releases it, which is exactly the semantics
+the crash-recovery harness needs; a stale lock file can never wedge a
+restart.  Where ``fcntl`` is missing the fallback is an exclusive-create
+pidfile with stale-owner detection (best effort — pidfiles cannot match
+flock's kernel-enforced release).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .errors import StorageLocked
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["DirectoryLock", "LOCK_FILENAME"]
+
+LOCK_FILENAME = ".lock"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class DirectoryLock:
+    """Holds the advisory lock on one data directory until released."""
+
+    def __init__(self, path: Path, handle, pidfile: bool) -> None:
+        self.path = path
+        self._handle = handle
+        self._pidfile = pidfile
+
+    @classmethod
+    def acquire(cls, directory: Union[str, Path]) -> "DirectoryLock":
+        """Take the directory's lock or raise :class:`StorageLocked`.
+
+        Contention raises immediately (``LOCK_NB``) — an engine open is not
+        a queueing operation; whoever loses should surface the conflict to
+        its operator, not silently wait on a lock of unknown tenure.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / LOCK_FILENAME
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return cls._acquire_pidfile(path)
+        handle = open(path, "a+", encoding="utf-8")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.seek(0)
+            owner = handle.read().strip() or "unknown"
+            handle.close()
+            raise StorageLocked(
+                f"data dir {directory} is already held by a live Storage "
+                f"(lock owner pid {owner}); close it first — two engines "
+                f"appending to one WAL would corrupt the log")
+        handle.seek(0)
+        handle.truncate()
+        handle.write(str(os.getpid()))
+        handle.flush()
+        return cls(path, handle, pidfile=False)
+
+    @classmethod
+    def _acquire_pidfile(cls, path: Path) -> "DirectoryLock":
+        """Exclusive-create pidfile fallback with stale-owner reclaim."""
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    owner = int(path.read_text(encoding="utf-8").strip() or "0")
+                except (OSError, ValueError):
+                    owner = 0
+                if owner and owner != os.getpid() and not _pid_alive(owner):
+                    try:  # stale: the owner died without releasing
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                raise StorageLocked(
+                    f"data dir {path.parent} is already held by pid {owner}")
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            return cls(path, None, pidfile=True)
+        raise StorageLocked(f"data dir {path.parent} lock contention")
+
+    def release(self) -> None:
+        """Drop the lock (idempotent).  The lock *file* is kept — unlinking
+        under flock races with a concurrent acquire on the same path."""
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()  # closing the fd releases the flock
+        if self._pidfile:
+            self._pidfile = False
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "DirectoryLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

@@ -79,8 +79,8 @@ class TestDocsLint:
 
 class TestDocGraph:
     SUBSYSTEM_DOCS = ("autograd.md", "benchmarking.md", "observability.md",
-                      "pipeline.md", "serving.md", "sharding.md",
-                      "storage.md")
+                      "pipeline.md", "resilience.md", "serving.md",
+                      "sharding.md", "storage.md")
 
     def test_architecture_links_every_subsystem_doc(self):
         text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")

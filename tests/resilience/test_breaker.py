@@ -1,0 +1,135 @@
+"""CircuitBreaker state machine under a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker, CircuitOpen
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, recovery_seconds=10.0,
+                          clock=clock)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0}, {"recovery_seconds": -1.0},
+        {"half_open_probes": 0},
+    ])
+    def test_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+    def test_circuit_open_is_a_runtime_error(self):
+        assert issubclass(CircuitOpen, RuntimeError)
+        assert BREAKER_STATES == ("closed", "half_open", "open")
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_needs_consecutive_failures_to_trip(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_open_flips_to_half_open_after_recovery(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+
+    def test_half_open_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens_for_a_full_window(
+            self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+
+    def test_half_open_limits_concurrent_probes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=1.0,
+                                 half_open_probes=2, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # probe slots exhausted
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestOverrides:
+    def test_force_open_and_reset(self, breaker):
+        breaker.force_open()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_stats_reports_counters_and_time_open(self, breaker, clock):
+        breaker.record_success()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        stats = breaker.stats()
+        assert stats["state"] == "open"
+        assert stats["successes"] == 1
+        assert stats["failures"] == 3
+        assert stats["opens"] == 1
+        assert stats["seconds_open"] == pytest.approx(4.0)
+        assert stats["consecutive_failures"] == 3
+
+    def test_on_transition_listener_sees_request_driven_flips(self, clock):
+        flips = []
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=1.0,
+                                 clock=clock,
+                                 on_transition=lambda a, b: flips.append((a, b)))
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert flips == [("closed", "open"), ("half_open", "closed")]

@@ -1,0 +1,193 @@
+"""RetryPolicy / TaskExecutor: backoff, inline and pooled retry accounting."""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.retry import FaultReport, RetryPolicy, TaskExecutor
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+
+fast_policy = RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0,
+                          jitter=0.0)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0}, {"base_delay": -0.1},
+        {"max_delay": 0.01, "base_delay": 0.05}, {"backoff": 0.5},
+        {"jitter": -0.1}, {"task_timeout": 0.0},
+    ])
+    def test_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.3,
+                             jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)
+        assert policy.delay(9) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.2)
+        assert policy.delay(2) == policy.delay(2)
+        assert policy.delay(1) != policy.delay(2)
+
+    def test_dict_round_trip(self):
+        policy = RetryPolicy(max_attempts=5, task_timeout=1.5,
+                             fallback_in_process=False)
+        assert RetryPolicy.from_dict(policy.as_dict()) == policy
+
+
+class TestFaultReport:
+    def test_faults_absorbed_counts_recoveries(self):
+        report = FaultReport(retries=3, fallbacks=2)
+        assert report.faults_absorbed == 5
+
+    def test_as_dict_is_json_friendly(self):
+        report = FaultReport(attempts=4, wall_seconds_lost=0.123456,
+                             quarantined=["shard-2"])
+        payload = report.as_dict()
+        assert payload["attempts"] == 4
+        assert payload["wall_seconds_lost"] == 0.1235
+        assert payload["quarantined"] == ["shard-2"]
+
+
+class _Flaky:
+    """Fails the first ``failures`` calls per item, then succeeds."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.calls = {}
+
+    def __call__(self, item):
+        seen = self.calls.get(item, 0)
+        self.calls[item] = seen + 1
+        if seen < self.failures:
+            raise RuntimeError(f"transient failure #{seen + 1} for {item}")
+        return item * 10
+
+
+class TestInlineExecution:
+    def test_success_needs_one_attempt_and_no_retries(self):
+        executor = TaskExecutor(policy=fast_policy)
+        assert executor.run(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert executor.report.attempts == 3
+        assert executor.report.retries == 0
+        assert not executor.uses_processes
+
+    def test_transient_failures_are_retried_and_counted(self):
+        executor = TaskExecutor(policy=fast_policy)
+        assert executor.run(_Flaky(failures=2), [1]) == [10]
+        assert executor.report.attempts == 3
+        assert executor.report.retries == 2
+        assert executor.report.fallbacks == 0
+        assert executor.report.wall_seconds_lost > 0.0
+
+    def test_exhaustion_falls_back_and_quarantines(self):
+        flaky = _Flaky(failures=3)  # fails all pool attempts, fallback wins
+        executor = TaskExecutor(policy=fast_policy)
+        assert executor.run(flaky, [7], labels=["shard-7"]) == [70]
+        assert executor.report.fallbacks == 1
+        assert executor.report.quarantined == ["shard-7"]
+        assert executor.report.attempts == 4  # 3 tries + the fallback
+
+    def test_exhaustion_without_fallback_raises_the_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                             fallback_in_process=False)
+        executor = TaskExecutor(policy=policy)
+        with pytest.raises(RuntimeError, match="transient failure #2"):
+            executor.run(_Flaky(failures=99), [1])
+
+    def test_partial_results_count_as_failures(self):
+        calls = {"n": 0}
+
+        def sometimes_partial(item):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return faults.partial_result(item=item)
+            return item
+
+        executor = TaskExecutor(policy=fast_policy)
+        assert executor.run(sometimes_partial, [5]) == [5]
+        assert executor.report.partial_results == 1
+        assert executor.report.retries == 1
+
+
+def _pooled_task(item):
+    if faults.check("test.pooled", item=item) == "partial":
+        return faults.partial_result(item=item)
+    return item * 2
+
+
+def _make_pool():
+    return ProcessPoolExecutor(
+        max_workers=2, mp_context=multiprocessing.get_context("fork"),
+        initializer=faults.mark_worker_process)
+
+
+@pytest.mark.skipif(not FORK, reason="fork start method unavailable")
+class TestPooledExecution:
+    def test_results_come_back_in_item_order(self):
+        executor = TaskExecutor(policy=fast_policy, pool_factory=_make_pool)
+        try:
+            assert executor.run(_pooled_task, [3, 1, 2]) == [6, 2, 4]
+            assert executor.uses_processes
+            assert executor.report.attempts == 3
+        finally:
+            executor.shutdown()
+
+    def test_worker_kill_is_absorbed_by_pool_rebuild(self, tmp_path):
+        # Kill exactly one worker mid-task (token latch survives re-forks);
+        # the executor rebuilds the pool and re-runs the affected round.
+        spec = faults.FaultSpec(site="test.pooled", kind="kill", every=1,
+                                scope="worker", token=str(tmp_path / "latch"))
+        executor = TaskExecutor(policy=fast_policy, pool_factory=_make_pool)
+        try:
+            with faults.plan_scope([spec]):
+                assert executor.run(_pooled_task, [1, 2, 3, 4]) == [2, 4, 6, 8]
+            assert executor.report.worker_deaths >= 1
+            assert executor.report.retries >= 1
+        finally:
+            executor.shutdown()
+
+    def test_task_timeout_costs_the_pool_and_retries(self, tmp_path):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                             jitter=0.0, task_timeout=0.5)
+        # The token latch makes the stall a one-off: the rebuilt pool forks
+        # fresh hit counters, so without it every retry would stall again.
+        spec = faults.FaultSpec(site="test.pooled", kind="delay",
+                                delay_seconds=30.0, at_hit=1, scope="worker",
+                                token=str(tmp_path / "latch"))
+        executor = TaskExecutor(policy=policy, pool_factory=_make_pool)
+        try:
+            with faults.plan_scope([spec]):
+                # Only the first hit sleeps; the retried attempt is fast.
+                assert executor.run(_pooled_task, [5]) == [10]
+            assert executor.report.timeouts == 1
+            assert executor.report.retries == 1
+        finally:
+            executor.shutdown()
+
+    def test_pooled_partials_fall_back_in_process(self):
+        # Workers always answer partially; the driver (scope="worker" does
+        # not apply to it) runs the task itself after pool exhaustion.
+        spec = faults.FaultSpec(site="test.pooled", kind="partial", every=1,
+                                scope="worker")
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                             jitter=0.0)
+        executor = TaskExecutor(policy=policy, pool_factory=_make_pool)
+        try:
+            with faults.plan_scope([spec]):
+                assert executor.run(_pooled_task, [4], labels=["t"]) == [8]
+            assert executor.report.partial_results == 2
+            assert executor.report.fallbacks == 1
+            assert executor.report.quarantined == ["t"]
+        finally:
+            executor.shutdown()

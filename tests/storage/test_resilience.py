@@ -1,0 +1,147 @@
+"""Storage resilience: the directory lock and read-only degradation."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import _crash_child as child
+from repro.resilience import faults
+from repro.resilience.faults import FaultSpec
+from repro.storage import (Storage, StorageConfig, StorageLocked,
+                           StorageReadOnly)
+from repro.storage.locks import LOCK_FILENAME, DirectoryLock
+
+
+@pytest.fixture(scope="module")
+def records():
+    return child.build_records()
+
+
+def fresh_storage(data_dir, **overrides) -> Storage:
+    defaults = dict(snapshot_every=child.SNAPSHOT_EVERY,
+                    wal_segment_max_entries=child.SEGMENT_MAX_ENTRIES)
+    defaults.update(overrides)
+    return Storage(data_dir, score_fn=child.score_fn,
+                   store_config=child.store_config(),
+                   config=StorageConfig(**defaults))
+
+
+class TestDirectoryLock:
+    def test_second_acquire_raises_with_owner_pid(self, tmp_path):
+        lock = DirectoryLock.acquire(tmp_path)
+        try:
+            with pytest.raises(StorageLocked, match=str(os.getpid())):
+                DirectoryLock.acquire(tmp_path)
+        finally:
+            lock.release()
+
+    def test_release_frees_the_directory(self, tmp_path):
+        DirectoryLock.acquire(tmp_path).release()
+        second = DirectoryLock.acquire(tmp_path)
+        second.release()
+
+    def test_release_is_idempotent_and_context_manager_works(self, tmp_path):
+        with DirectoryLock.acquire(tmp_path) as lock:
+            assert (tmp_path / LOCK_FILENAME).exists()
+        lock.release()  # second release: no-op
+
+    def test_pidfile_fallback_reclaims_a_stale_owner(self, tmp_path):
+        # A pidfile left by a dead process must not brick the directory.
+        lock_path = tmp_path / LOCK_FILENAME
+        lock_path.write_text("999999999")  # no such pid
+        lock = DirectoryLock._acquire_pidfile(lock_path)
+        try:
+            assert lock_path.read_text() == str(os.getpid())
+        finally:
+            lock.release()
+
+
+class TestStorageLocking:
+    def test_second_open_of_a_live_directory_raises_storage_locked(
+            self, tmp_path, records):
+        storage = fresh_storage(tmp_path)
+        try:
+            storage.upsert(records[0])
+            with pytest.raises(StorageLocked):
+                fresh_storage(tmp_path)
+            with pytest.raises(StorageLocked):
+                Storage.recover(tmp_path, score_fn=child.score_fn)
+        finally:
+            storage.close()
+
+    def test_close_releases_the_lock_for_recover(self, tmp_path, records):
+        storage = fresh_storage(tmp_path)
+        for record in records[:3]:
+            storage.upsert(record)
+        storage.close()
+        recovered = Storage.recover(tmp_path, score_fn=child.score_fn)
+        try:
+            assert len(recovered.store) == 3
+        finally:
+            recovered.close()
+
+    def test_failed_construction_does_not_leak_the_lock(self, tmp_path,
+                                                        records):
+        storage = fresh_storage(tmp_path)
+        for record in records[:2]:
+            storage.upsert(record)
+        storage.close()
+        # Constructing over a populated directory refuses (use recover) —
+        # and must release the lock it briefly held while refusing.
+        with pytest.raises(Exception, match="recover"):
+            fresh_storage(tmp_path)
+        recovered = Storage.recover(tmp_path, score_fn=child.score_fn)
+        recovered.close()
+
+
+class TestReadOnlyDegradation:
+    @pytest.fixture(autouse=True)
+    def clean_plan(self):
+        faults.clear_plan()
+        yield
+        faults.clear_plan()
+
+    def test_wal_append_failure_flips_storage_read_only(self, tmp_path,
+                                                        records):
+        storage = fresh_storage(tmp_path)
+        try:
+            for record in records[:4]:
+                storage.upsert(record)
+            stored = len(storage.store)
+            with faults.plan_scope([FaultSpec(site="storage.wal_append",
+                                              kind="raise")]):
+                with pytest.raises(StorageReadOnly):
+                    storage.upsert(records[4])
+            # The failed upsert never mutated the store: the WAL hook runs
+            # before the in-memory commit, so memory matches the durable log.
+            assert len(storage.store) == stored
+            assert storage.read_only
+            assert storage.stats()["read_only"] == 1.0
+            # Reads keep serving from the committed prefix.
+            matches = storage.store.query(records[0], top_k=3)
+            assert isinstance(matches, list)
+            # Later writes fail fast without touching the (unarmed) WAL.
+            with pytest.raises(StorageReadOnly):
+                storage.upsert(records[5])
+            assert len(storage.store) == stored
+        finally:
+            storage.close()
+
+    def test_read_only_storage_recovers_to_the_committed_prefix(
+            self, tmp_path, records):
+        storage = fresh_storage(tmp_path)
+        for record in records[:4]:
+            storage.upsert(record)
+        with faults.plan_scope([FaultSpec(site="storage.wal_append",
+                                          kind="raise")]):
+            with pytest.raises(StorageReadOnly):
+                storage.upsert(records[4])
+        storage.close()
+        recovered = Storage.recover(tmp_path, score_fn=child.score_fn)
+        try:
+            assert len(recovered.store) == 4
+            assert not recovered.read_only
+        finally:
+            recovered.close()
